@@ -1,0 +1,57 @@
+"""Ablation — FastRandomHash vs k-means pre-clustering (§VII, [41]).
+
+The paper dismisses k-means-style clustering because "it requires to
+compute many similarities while our main purpose is to limit as much
+as possible the number of similarities computed". This bench measures
+that argument: the same local-KNN + merge pipeline fed by (a) FRH
+clusters (free: zero similarity computations) and (b) spherical
+k-means clusters (n_users x n_clusters charged evaluations per
+iteration).
+"""
+
+from __future__ import annotations
+
+from repro.baselines import kmeans_knn
+from repro.bench import bench_scale, emit, evaluate_run
+from repro.core import cluster_and_conquer
+from repro.similarity import make_engine
+
+from conftest import get_dataset, get_workload
+
+
+def test_ablation_kmeans_clustering(benchmark):
+    dataset = get_dataset("ml10M")
+    workload = get_workload("ml10M")
+
+    c2_result = benchmark.pedantic(
+        lambda: cluster_and_conquer(make_engine(dataset), workload.c2_params),
+        rounds=1,
+        iterations=1,
+    )
+    c2 = evaluate_run("C2 (FRH)", dataset, workload, c2_result)
+    km_result = kmeans_knn(
+        make_engine(dataset), k=workload.k, n_clusters=64, seed=workload.seed
+    )
+    km = evaluate_run("kmeans + local KNN [41]", dataset, workload, km_result)
+
+    emit(
+        "ablation_kmeans",
+        f"Ablation: FRH vs k-means pre-clustering — ml10M at scale={bench_scale()}\n"
+        f"k-means spends {km_result.extra['clustering_comparisons']:,} similarity "
+        "evaluations on clustering alone; FastRandomHash spends 0",
+        [
+            {
+                "Clustering": run.algorithm,
+                "Time (s)": f"{run.seconds:.2f}",
+                "Similarities": run.comparisons,
+                "Quality": f"{run.quality:.3f}",
+            }
+            for run in (c2, km)
+        ],
+    )
+
+    # The paper's §VII argument: similarity-based clustering costs more
+    # total similarity evaluations than hash-based clustering.
+    assert c2.comparisons < km.comparisons
+    # Both produce usable graphs.
+    assert km.quality > 0.7 and c2.quality > 0.7

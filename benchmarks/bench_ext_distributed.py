@@ -1,0 +1,63 @@
+"""Extension — simulated map-reduce scaling of C² (paper §VIII).
+
+The paper's conclusion claims C² is "particularly amenable to
+large-scale distributed deployments". This bench quantifies that with
+the cost-model simulator: map-phase speed-up and efficiency for
+1..64 workers, with and without recursive splitting (splitting is what
+makes the map phase parallelise — one giant cluster caps the speed-up).
+"""
+
+from __future__ import annotations
+
+from repro.bench import bench_scale, emit
+from repro.core import cluster_dataset, make_hash_family
+from repro.distributed import simulate_mapreduce
+
+from conftest import get_dataset, get_workload
+
+WORKERS = [1, 4, 8, 16, 64]
+
+
+def test_ext_distributed_scaling(benchmark):
+    dataset = get_dataset("ml10M")
+    workload = get_workload("ml10M")
+    params = workload.c2_params
+
+    def build_clusterings():
+        hashes = make_hash_family(
+            dataset.n_items, params.n_buckets, params.n_hashes, seed=params.seed
+        )
+        return (
+            cluster_dataset(dataset, hashes, split_threshold=params.split_threshold),
+            cluster_dataset(dataset, hashes, split_threshold=None),
+        )
+
+    split, raw = benchmark.pedantic(build_clusterings, rounds=1, iterations=1)
+
+    rows = []
+    costs = {}
+    for label, clustering in (("split", split), ("no split", raw)):
+        for w in WORKERS:
+            cost = simulate_mapreduce(clustering, n_workers=w, k=params.k, rho=params.rho)
+            costs[(label, w)] = cost
+            rows.append(
+                {
+                    "Variant": label,
+                    "Workers": w,
+                    "Speed-up": f"{cost.speedup:.2f}",
+                    "Efficiency": f"{cost.efficiency:.2f}",
+                    "Shuffle records": cost.shuffle_records,
+                }
+            )
+
+    emit(
+        "ext_distributed",
+        f"Extension: simulated map-reduce scaling — ml10M at scale={bench_scale()}",
+        rows,
+    )
+
+    # Speed-up grows with workers and splitting parallelises better.
+    assert costs[("split", 16)].speedup > costs[("split", 1)].speedup
+    assert costs[("split", 16)].speedup > costs[("no split", 16)].speedup
+    # Shuffle volume does not depend on the worker count.
+    assert costs[("split", 1)].shuffle_records == costs[("split", 64)].shuffle_records

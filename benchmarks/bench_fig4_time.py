@@ -1,0 +1,63 @@
+"""Figure 4 — execution time: C² vs the best competing approach.
+
+Bar charts in the paper (ml20M, AM, DBLP, GW); here rendered as rows of
+(baseline time, C² time) with the paper's values alongside. The paper's
+best baseline per dataset: Hyrec on ml20M / AM / GW(≈), NN-Descent on
+DBLP, and the bars show C² clearly faster on all four.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import bench_scale, emit, evaluate_run, run_algorithm
+
+from conftest import get_dataset, get_workload
+
+# Best baseline per Figure 4 / Table II: (name, paper time) and paper C2 time.
+PAPER_FIG4 = {
+    "ml20M": ("Hyrec", 289.23, 106.25),
+    "AM": ("Hyrec", 62.41, 14.11),
+    "DBLP": ("NNDescent", 24.43, 6.54),
+    "GW": ("Hyrec", 21.88, 8.38),
+}
+
+
+@pytest.mark.parametrize("dataset_name", list(PAPER_FIG4))
+def test_fig4_execution_time(benchmark, dataset_name):
+    dataset = get_dataset(dataset_name)
+    workload = get_workload(dataset_name)
+    baseline_name, paper_baseline, paper_c2 = PAPER_FIG4[dataset_name]
+
+    c2_result = benchmark.pedantic(
+        run_algorithm, args=("C2", dataset, workload), rounds=1, iterations=1
+    )
+    c2 = evaluate_run("C2", dataset, workload, c2_result)
+    baseline = evaluate_run(
+        baseline_name,
+        dataset,
+        workload,
+        run_algorithm(baseline_name, dataset, workload),
+    )
+
+    emit(
+        f"fig4_{dataset_name}",
+        f"Fig. 4 analog — {dataset_name} at scale={bench_scale()} (lower is better)",
+        [
+            {
+                "Series": f"Baseline ({baseline_name})",
+                "Time (s)": f"{baseline.seconds:.2f}",
+                "Similarities": baseline.comparisons,
+                "paper Time": paper_baseline,
+            },
+            {
+                "Series": "C2 (ours)",
+                "Time (s)": f"{c2.seconds:.2f}",
+                "Similarities": c2.comparisons,
+                "paper Time": paper_c2,
+            },
+        ],
+    )
+
+    # Shape: C2 beats the paper's best baseline on similarity count.
+    assert c2.comparisons < baseline.comparisons

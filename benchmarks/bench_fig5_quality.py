@@ -1,0 +1,61 @@
+"""Figure 5 — KNN quality: C² vs the fastest native approach.
+
+The paper's companion to Figure 4: on ml20M, AM, DBLP and GW, C²'s
+quality matches or slightly exceeds the fastest baseline's (higher is
+better).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import bench_scale, emit, evaluate_run, run_algorithm
+
+from conftest import get_dataset, get_workload
+
+# (baseline name, paper baseline quality, paper C2 quality) per Fig. 5.
+PAPER_FIG5 = {
+    "ml20M": ("Hyrec", 0.88, 0.89),
+    "AM": ("Hyrec", 0.93, 0.95),
+    "DBLP": ("NNDescent", 0.82, 0.84),
+    "GW": ("Hyrec", 0.78, 0.82),
+}
+
+
+@pytest.mark.parametrize("dataset_name", list(PAPER_FIG5))
+def test_fig5_quality(benchmark, dataset_name):
+    dataset = get_dataset(dataset_name)
+    workload = get_workload(dataset_name)
+    baseline_name, paper_baseline, paper_c2 = PAPER_FIG5[dataset_name]
+
+    c2_result = benchmark.pedantic(
+        run_algorithm, args=("C2", dataset, workload), rounds=1, iterations=1
+    )
+    c2 = evaluate_run("C2", dataset, workload, c2_result)
+    baseline = evaluate_run(
+        baseline_name,
+        dataset,
+        workload,
+        run_algorithm(baseline_name, dataset, workload),
+    )
+
+    emit(
+        f"fig5_{dataset_name}",
+        f"Fig. 5 analog — {dataset_name} at scale={bench_scale()} (higher is better)",
+        [
+            {
+                "Series": f"Baseline ({baseline_name})",
+                "Quality": f"{baseline.quality:.3f}",
+                "paper Quality": paper_baseline,
+            },
+            {
+                "Series": "C2 (ours)",
+                "Quality": f"{c2.quality:.3f}",
+                "paper Quality": paper_c2,
+            },
+        ],
+    )
+
+    # Shape: C2's quality is within a small margin of the baseline's.
+    assert c2.quality > baseline.quality - 0.12
+    assert c2.quality > 0.6

@@ -1,0 +1,67 @@
+"""Figure 6 — sensitivity to the number of hash functions ``t`` and
+clusters per hash function ``b`` (ml10M and AmazonMovies).
+
+The paper sweeps t ∈ {1, 2, 4, 8, 10} for b ∈ {512, 2048, 8192} and
+finds: (i) t trades time for quality with diminishing returns past 8;
+(ii) larger b improves *both* time and quality; (iii) b matters more on
+the sparse dataset (AM), because recursive splitting already caps
+cluster sizes on ml10M. b interacts only with profile sizes, which do
+not scale, so the paper's b values are used directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import bench_scale, emit, evaluate_run
+from repro.core import cluster_and_conquer
+from repro.similarity import make_engine
+
+from conftest import get_dataset, get_workload
+
+T_VALUES = [1, 2, 4, 8, 10]
+B_VALUES = [512, 2048, 8192]
+
+
+@pytest.mark.parametrize("dataset_name", ["ml10M", "AM"])
+def test_fig6_t_and_b_sweep(benchmark, dataset_name):
+    dataset = get_dataset(dataset_name)
+    workload = get_workload(dataset_name)
+
+    def sweep():
+        rows = []
+        for b in B_VALUES:
+            for t in T_VALUES:
+                params = workload.c2_params.with_(n_buckets=b, n_hashes=t)
+                result = cluster_and_conquer(make_engine(dataset), params)
+                run = evaluate_run(f"C2(b={b},t={t})", dataset, workload, result)
+                rows.append(
+                    {
+                        "b": b,
+                        "t": t,
+                        "Time (s)": f"{run.seconds:.2f}",
+                        "Similarities": run.comparisons,
+                        "Quality": f"{run.quality:.3f}",
+                        "_q": run.quality,
+                        "_c": run.comparisons,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        f"fig6_{dataset_name}",
+        f"Fig. 6 analog — {dataset_name} at scale={bench_scale()} "
+        "(each curve: fixed b, t in {1,2,4,8,10})",
+        [{k: v for k, v in r.items() if not k.startswith("_")} for r in rows],
+    )
+
+    by = {(r["b"], r["t"]): r for r in rows}
+
+    # Shape (i): more hash functions -> higher quality, more similarities.
+    for b in B_VALUES:
+        assert by[(b, 8)]["_q"] > by[(b, 1)]["_q"]
+        assert by[(b, 8)]["_c"] > by[(b, 1)]["_c"]
+
+    # Shape (ii): at t=8, larger b -> fewer similarities (faster).
+    assert by[(8192, 8)]["_c"] < by[(512, 8)]["_c"]

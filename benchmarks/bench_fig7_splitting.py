@@ -1,0 +1,59 @@
+"""Figure 7 — effect of the maximum cluster size ``N`` on ml10M.
+
+The paper sweeps N from 500 to 10,000 on MovieLens10M: reducing N
+improves computation time at the expense of quality, with a knee point
+around N = 3000; AmazonMovies is insensitive (its raw clusters are
+already below N — see Figure 8's bench). N values are scaled with the
+dataset like the paper's defaults.
+"""
+
+from __future__ import annotations
+
+from repro.bench import bench_scale, emit, evaluate_run, scale_split_threshold
+from repro.core import cluster_and_conquer
+from repro.similarity import make_engine
+
+from conftest import get_dataset, get_workload
+
+N_VALUES = [500, 1000, 3000, 5000, 7500, 10000]
+
+
+def test_fig7_split_threshold_sweep(benchmark):
+    dataset = get_dataset("ml10M")
+    workload = get_workload("ml10M")
+    scale = workload.scale
+
+    def sweep():
+        rows = []
+        for n in N_VALUES:
+            params = workload.c2_params.with_(
+                split_threshold=scale_split_threshold(n, scale)
+            )
+            result = cluster_and_conquer(make_engine(dataset), params)
+            run = evaluate_run(f"C2(N={n})", dataset, workload, result)
+            rows.append(
+                {
+                    "N (paper)": n,
+                    "N (scaled)": params.split_threshold,
+                    "Time (s)": f"{run.seconds:.2f}",
+                    "Similarities": run.comparisons,
+                    "Quality": f"{run.quality:.3f}",
+                    "Max cluster": result.extra["max_cluster_size"],
+                    "_q": run.quality,
+                    "_c": run.comparisons,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "fig7_ml10M",
+        f"Fig. 7 analog — ml10M at scale={bench_scale()} "
+        "(reducing N improves time at the expense of quality)",
+        [{k: v for k, v in r.items() if not k.startswith("_")} for r in rows],
+    )
+
+    by = {r["N (paper)"]: r for r in rows}
+    # Shape: smaller N -> fewer similarities; larger N -> higher quality.
+    assert by[500]["_c"] < by[10000]["_c"]
+    assert by[10000]["_q"] >= by[500]["_q"]

@@ -1,0 +1,55 @@
+"""Table I — dataset descriptions.
+
+Regenerates the paper's dataset-statistics table for the synthetic
+stand-ins, next to the paper's published numbers, so the reader can
+check the generators preserve the properties that matter (profile
+sizes, density contrast, item-universe scale).
+"""
+
+from __future__ import annotations
+
+from repro.bench import bench_scale, emit, format_table
+from repro.data import dataset_names, describe
+
+from conftest import get_dataset
+
+# Table I of the paper (full-size datasets).
+PAPER_TABLE1 = {
+    "ml1M": {"Users": 6_038, "Items": 3_533, "Ratings": 575_281, "|Pu|": 95.28, "Density": "2.697%"},
+    "ml10M": {"Users": 69_816, "Items": 10_472, "Ratings": 5_885_448, "|Pu|": 84.30, "Density": "0.805%"},
+    "ml20M": {"Users": 138_362, "Items": 22_884, "Ratings": 12_195_566, "|Pu|": 88.14, "Density": "0.385%"},
+    "AM": {"Users": 57_430, "Items": 171_356, "Ratings": 3_263_050, "|Pu|": 56.82, "Density": "0.033%"},
+    "DBLP": {"Users": 18_889, "Items": 203_030, "Ratings": 692_752, "|Pu|": 36.67, "Density": "0.018%"},
+    "GW": {"Users": 20_270, "Items": 135_540, "Ratings": 1_107_467, "|Pu|": 54.64, "Density": "0.040%"},
+}
+
+
+def test_table1_dataset_statistics(benchmark):
+    rows = []
+
+    def build_all():
+        return [describe(get_dataset(name)) for name in dataset_names()]
+
+    stats = benchmark.pedantic(build_all, rounds=1, iterations=1)
+
+    for stat in stats:
+        paper = PAPER_TABLE1[stat.name]
+        row = stat.as_row()
+        row["paper Users"] = paper["Users"]
+        row["paper |Pu|"] = paper["|Pu|"]
+        row["paper Density"] = paper["Density"]
+        rows.append(row)
+
+    emit(
+        "table1_datasets",
+        f"Table I analog at scale={bench_scale()} (paper columns = full-size datasets)",
+        rows,
+    )
+
+    # Shape assertions: the generators must preserve Table I's contrasts.
+    by_name = {s.name: s for s in stats}
+    assert by_name["ml10M"].density > 3 * by_name["AM"].density
+    assert by_name["DBLP"].mean_profile_size < by_name["ml1M"].mean_profile_size
+    for stat in stats:
+        paper_pu = PAPER_TABLE1[stat.name]["|Pu|"]
+        assert 0.5 * paper_pu <= stat.mean_profile_size <= 2.0 * paper_pu, stat.name

@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark suite.
+
+Datasets and exact ground-truth graphs are expensive; they are built
+once per session and shared across benchmark files via the runner's
+memo cache. ``REPRO_SCALE`` (default 0.05) controls dataset size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import load_workload_dataset, paper_workload
+
+_DATASETS: dict[str, object] = {}
+_WORKLOADS: dict[str, object] = {}
+
+
+def get_workload(name: str):
+    """Session-cached workload for a paper dataset."""
+    if name not in _WORKLOADS:
+        _WORKLOADS[name] = paper_workload(name)
+    return _WORKLOADS[name]
+
+
+def get_dataset(name: str):
+    """Session-cached synthetic dataset for a paper dataset name."""
+    if name not in _DATASETS:
+        _DATASETS[name] = load_workload_dataset(get_workload(name))
+    return _DATASETS[name]
+
+
+@pytest.fixture(scope="session")
+def ml10m():
+    return get_dataset("ml10M")
+
+
+@pytest.fixture(scope="session")
+def am():
+    return get_dataset("AM")

@@ -1,0 +1,49 @@
+"""Algorithm shoot-out: C2 vs Hyrec, NN-Descent, LSH and brute force.
+
+A miniature Table II: every KNN-graph builder in the library runs on
+the same dataset and engine setup, and the table reports time,
+similarity evaluations (the paper's cost model), quality and edge
+recall vs the exact graph.
+
+Run:  python examples/algorithm_shootout.py
+"""
+
+from __future__ import annotations
+
+from repro import C2Params, cluster_and_conquer, data, make_engine
+from repro.baselines import brute_force_knn, hyrec_knn, lsh_knn, nndescent_knn
+from repro.bench import format_table
+from repro.graph import edge_recall, quality
+from repro.similarity import ExactEngine
+
+K = 20
+
+
+def main() -> None:
+    dataset = data.load("AM", scale=0.04)
+    print(f"dataset: {dataset}\n")
+    exact = brute_force_knn(ExactEngine(dataset), k=K).graph
+
+    def run(name, fn):
+        result = fn(make_engine(dataset))
+        return {
+            "algorithm": name,
+            "time (s)": f"{result.seconds:.2f}",
+            "similarities": result.comparisons,
+            "quality": f"{quality(result.graph, exact, dataset):.3f}",
+            "edge recall": f"{edge_recall(result.graph, exact):.3f}",
+        }
+
+    params = C2Params(k=K, split_threshold=100, seed=1)
+    rows = [
+        run("BruteForce", lambda e: brute_force_knn(e, k=K)),
+        run("Hyrec", lambda e: hyrec_knn(e, k=K, seed=1)),
+        run("NNDescent", lambda e: nndescent_knn(e, k=K, seed=1)),
+        run("LSH", lambda e: lsh_knn(e, k=K, n_hashes=10, seed=1)),
+        run("C2 (ours)", lambda e: cluster_and_conquer(e, params)),
+    ]
+    print(format_table(rows, title="mini Table II (GoldFinger 1024-bit engine)"))
+
+
+if __name__ == "__main__":
+    main()

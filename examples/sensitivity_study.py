@@ -1,0 +1,55 @@
+"""Parameter sensitivity study: t, b and N (paper §VI, Figs. 6-7).
+
+Sweeps Cluster-and-Conquer's three knobs on a MovieLens-like dataset
+and prints the time x quality trade-off curves the paper charts:
+
+* t (hash functions): more redundancy -> higher quality, more work;
+* b (clusters per hash): more clusters -> faster AND better, for free;
+* N (split threshold): smaller clusters -> faster but lower quality.
+
+Run:  python examples/sensitivity_study.py
+"""
+
+from __future__ import annotations
+
+from repro import C2Params, cluster_and_conquer, data, make_engine
+from repro.baselines import brute_force_knn
+from repro.bench import format_table
+from repro.graph import quality
+from repro.similarity import ExactEngine
+
+K = 15
+
+
+def sweep(dataset, exact, base: C2Params, field: str, values) -> None:
+    rows = []
+    for value in values:
+        params = base.with_(**{field: value})
+        result = cluster_and_conquer(make_engine(dataset), params)
+        rows.append(
+            {
+                field: value,
+                "time (s)": f"{result.seconds:.2f}",
+                "similarities": result.comparisons,
+                "quality": f"{quality(result.graph, exact, dataset):.3f}",
+                "clusters": result.extra["n_clusters"],
+                "max cluster": result.extra["max_cluster_size"],
+            }
+        )
+    print(format_table(rows, title=f"sweep over {field}"))
+    print()
+
+
+def main() -> None:
+    dataset = data.load("ml10M", scale=0.03)
+    print(f"dataset: {dataset}\n")
+    exact = brute_force_knn(ExactEngine(dataset), k=K).graph
+    base = C2Params(k=K, split_threshold=80, seed=1)
+
+    sweep(dataset, exact, base, "n_hashes", [1, 2, 4, 8, 10])
+    sweep(dataset, exact, base, "n_buckets", [512, 2048, 8192])
+    sweep(dataset, exact, base, "split_threshold", [40, 80, 200, 500])
+
+
+if __name__ == "__main__":
+    main()

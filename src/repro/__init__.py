@@ -1,0 +1,57 @@
+"""repro — Cluster-and-Conquer KNN graph construction.
+
+Reproduction of "Cluster-and-Conquer: When Randomness Meets Graph
+Locality" (Giakkoupis, Kermarrec, Ruas, Taïani — ICDE 2021).
+
+Quickstart::
+
+    from repro import data, make_engine, cluster_and_conquer, C2Params
+
+    dataset = data.load("ml1M", scale=0.05)
+    engine = make_engine(dataset)              # GoldFinger-backed Jaccard
+    result = cluster_and_conquer(engine, C2Params(k=30))
+    print(result.graph.neighborhood(0))
+"""
+
+from . import baselines, bench, core, data, distributed, graph, recommend, similarity
+from .baselines import (
+    BuildResult,
+    brute_force_knn,
+    hyrec_knn,
+    lsh_knn,
+    nndescent_knn,
+)
+from .core import C2Params, cluster_and_conquer, paper_params
+from .data import Dataset
+from .graph import KNNGraph, average_similarity, edge_recall, quality
+from .similarity import ExactEngine, GoldFingerEngine, SimilarityEngine, make_engine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BuildResult",
+    "C2Params",
+    "Dataset",
+    "ExactEngine",
+    "GoldFingerEngine",
+    "KNNGraph",
+    "SimilarityEngine",
+    "average_similarity",
+    "baselines",
+    "bench",
+    "brute_force_knn",
+    "cluster_and_conquer",
+    "core",
+    "data",
+    "distributed",
+    "edge_recall",
+    "graph",
+    "hyrec_knn",
+    "lsh_knn",
+    "make_engine",
+    "nndescent_knn",
+    "paper_params",
+    "quality",
+    "recommend",
+    "similarity",
+]

@@ -1,0 +1,33 @@
+"""Low-level integer mixing primitives (no intra-package dependencies).
+
+Kept dependency-free so both the similarity substrate (GoldFinger) and
+the core hashing module can use them without import cycles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["splitmix64_array", "splitmix64"]
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+
+def splitmix64_array(values: np.ndarray, seed: int) -> np.ndarray:
+    """Vectorised splitmix64 finaliser over a uint64 array.
+
+    Deterministic in ``(values, seed)``; output is uniformly
+    distributed over the full uint64 range for distinct inputs.
+    """
+    with np.errstate(over="ignore"):
+        z = values.astype(np.uint64) + np.uint64(seed) * _GOLDEN + _GOLDEN
+        z = (z ^ (z >> np.uint64(30))) * _MIX1
+        z = (z ^ (z >> np.uint64(27))) * _MIX2
+        return z ^ (z >> np.uint64(31))
+
+
+def splitmix64(value: int, seed: int) -> int:
+    """Scalar convenience wrapper around :func:`splitmix64_array`."""
+    return int(splitmix64_array(np.asarray([value], dtype=np.uint64), seed)[0])

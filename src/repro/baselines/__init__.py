@@ -1,0 +1,21 @@
+"""Baseline KNN-graph builders: brute force, Hyrec, NN-Descent, LSH."""
+
+# .base must be imported before .lsh: repro.core depends on .base, and
+# .lsh depends on repro.core, so this order keeps the cycle harmless.
+from ..result import BuildResult, track_build
+from .brute_force import brute_force_knn
+from .hyrec import hyrec_knn
+from .kmeans import kmeans_cluster_dataset, kmeans_knn
+from .lsh import lsh_knn
+from .nndescent import nndescent_knn
+
+__all__ = [
+    "BuildResult",
+    "brute_force_knn",
+    "hyrec_knn",
+    "kmeans_cluster_dataset",
+    "kmeans_knn",
+    "lsh_knn",
+    "nndescent_knn",
+    "track_build",
+]

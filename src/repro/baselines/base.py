@@ -1,0 +1,5 @@
+"""Re-export of the shared build-result types (see ``repro.result``)."""
+
+from ..result import BuildResult, track_build
+
+__all__ = ["BuildResult", "track_build"]

@@ -1,0 +1,127 @@
+"""K-means pre-clustering + local KNN — the §VII [41] comparison point.
+
+The paper's related work (Xue et al., SIGIR'05 [41]) clusters users
+with k-means before computing local KNN graphs, and the paper's
+argument against it is cost: "it requires to compute many similarities
+while our main purpose is to limit as much as possible the number of
+similarities computed". This module implements that design faithfully
+so the argument can be measured:
+
+* spherical k-means over the binary profile matrix (cosine assignment
+  against centroid vectors — each user/centroid evaluation is charged
+  to the engine, since it is exactly the kind of profile-similarity
+  computation FastRandomHash avoids);
+* the resulting clusters feed the same local-KNN + merge pipeline C²
+  uses.
+
+Unlike FastRandomHash, each user lands in exactly *one* cluster, so
+there is no redundancy to rescue borderline users — [41]'s design.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.clustering import Cluster, ClusteringResult
+from ..core.local_knn import solve_cluster
+from ..core.merge import merge_partials
+from ..core.scheduler import run_clusters
+from ..result import BuildResult, track_build
+from ..similarity.engine import SimilarityEngine
+
+__all__ = ["kmeans_cluster_dataset", "kmeans_knn"]
+
+
+def kmeans_cluster_dataset(
+    engine: SimilarityEngine,
+    n_clusters: int,
+    n_iterations: int = 5,
+    seed: int = 0,
+) -> ClusteringResult:
+    """Spherical k-means clustering of the engine's dataset.
+
+    Every user-to-centroid cosine evaluation is charged to the engine
+    (``n_users * n_clusters`` per iteration): this is the similarity
+    bill the paper's §VII argument is about.
+    """
+    if n_clusters < 1:
+        raise ValueError("n_clusters must be >= 1")
+    dataset = engine.dataset
+    rng = np.random.default_rng(seed)
+    n = dataset.n_users
+    n_clusters = min(n_clusters, max(1, n))
+
+    matrix = dataset.to_csr_matrix().astype(np.float64)
+    norms = np.sqrt(matrix.multiply(matrix).sum(axis=1)).A.ravel()
+    norms[norms == 0] = 1.0
+    from scipy.sparse import diags
+
+    normalized = diags(1.0 / norms) @ matrix
+
+    # Initialise centroids from random distinct users.
+    picks = rng.choice(n, size=n_clusters, replace=False)
+    centroids = np.asarray(normalized[picks].todense())
+
+    assignment = np.zeros(n, dtype=np.int64)
+    for _ in range(max(1, n_iterations)):
+        sims = normalized @ centroids.T  # (n, C) cosine similarities
+        engine.charge(n * n_clusters)
+        assignment = np.asarray(sims).argmax(axis=1)
+        for c in range(n_clusters):
+            members = np.flatnonzero(assignment == c)
+            if members.size == 0:
+                # Re-seed empty clusters from a random user.
+                members = rng.choice(n, size=1)
+            centroid = np.asarray(normalized[members].mean(axis=0)).ravel()
+            norm = np.linalg.norm(centroid)
+            centroids[c] = centroid / norm if norm > 0 else centroid
+
+    clusters = [
+        Cluster(
+            users=np.flatnonzero(assignment == c),
+            config=0,
+            eta=c + 1,
+            splittable=False,
+        )
+        for c in range(n_clusters)
+        if np.any(assignment == c)
+    ]
+    return ClusteringResult(clusters=clusters, n_configs=1, n_splits=0)
+
+
+def kmeans_knn(
+    engine: SimilarityEngine,
+    k: int = 30,
+    n_clusters: int = 64,
+    n_iterations: int = 5,
+    rho: int = 5,
+    n_workers: int = 1,
+    seed: int = 0,
+) -> BuildResult:
+    """KNN graph via k-means pre-clustering + local KNN ([41])."""
+    dataset = engine.dataset
+
+    with track_build(engine) as info:
+        clustering = kmeans_cluster_dataset(
+            engine, n_clusters, n_iterations=n_iterations, seed=seed
+        )
+        partials = run_clusters(
+            clustering.clusters,
+            lambda cluster: solve_cluster(engine, cluster.users, k, rho=rho, seed=seed),
+            n_workers=n_workers,
+        )
+        graph = merge_partials(partials, dataset.n_users, k)
+
+    sizes = clustering.sizes()
+    return BuildResult(
+        graph=graph,
+        seconds=info["seconds"],
+        comparisons=info["comparisons"],
+        iterations=n_iterations,
+        extra={
+            "n_clusters": len(clustering.clusters),
+            "cluster_sizes": sizes,
+            "max_cluster_size": int(sizes[0]) if sizes.size else 0,
+            "clustering_comparisons": dataset.n_users * n_clusters * n_iterations,
+        },
+    )

@@ -1,0 +1,184 @@
+"""NN-Descent (Dong, Moses & Li, WWW 2011) — greedy KNN baseline.
+
+Full algorithm with the classic optimisations:
+
+* **reverse neighbourhoods** — each user's candidate pool joins her
+  forward neighbours with users pointing *at* her;
+* **new/old flags** — only pairs involving at least one neighbour
+  inserted since the previous iteration are compared, so converged
+  regions stop costing similarity evaluations;
+* **sampling** — candidate lists are sampled at rate ``sample_rate``
+  (Dong's ρ), bounding per-user work to ``O((ρk)²)``;
+* **δ-termination** — stop when an iteration performs fewer than
+  ``δ k n`` heap updates.
+
+Unlike Hyrec, NN-Descent compares the members of a user's candidate
+pool *among themselves* (a local join), updating both endpoints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.heap import EMPTY
+from ..graph.knn_graph import KNNGraph, random_graph
+from ..similarity.engine import SimilarityEngine
+from ..result import BuildResult, track_build
+
+__all__ = ["nndescent_knn"]
+
+_FLUSH_EVERY = 128
+
+
+def nndescent_knn(
+    engine: SimilarityEngine,
+    k: int = 30,
+    delta: float = 0.001,
+    max_iterations: int = 30,
+    sample_rate: float = 1.0,
+    seed: int = 0,
+) -> BuildResult:
+    """Build an approximate KNN graph with NN-Descent."""
+    if not 0 < sample_rate <= 1:
+        raise ValueError("sample_rate must be in (0, 1]")
+    n = engine.n_users
+    rng = np.random.default_rng(seed)
+    updates_log: list[int] = []
+
+    with track_build(engine) as info:
+        graph = random_graph(engine, k, seed)
+        # Every initial neighbour is "new" — it has never joined.
+        new_flags: list[set[int]] = [set(map(int, graph.neighbors(u))) for u in range(n)]
+
+        iterations = 0
+        for _ in range(max_iterations):
+            iterations += 1
+            updates, new_flags = _iterate(
+                engine, graph, new_flags, k, sample_rate, rng
+            )
+            updates_log.append(updates)
+            if updates < delta * k * n:
+                break
+
+    return BuildResult(
+        graph=graph,
+        seconds=info["seconds"],
+        comparisons=info["comparisons"],
+        iterations=iterations,
+        extra={"updates_per_iteration": updates_log},
+    )
+
+
+def _reverse_lists(graph: KNNGraph) -> list[np.ndarray]:
+    """Reverse adjacency: ``rev[v]`` = users that list ``v``."""
+    n = graph.n_users
+    ids = graph.heaps.ids
+    owners = np.repeat(np.arange(n, dtype=np.int64), graph.k)
+    flat = ids.ravel().astype(np.int64)
+    valid = flat != EMPTY
+    flat, owners = flat[valid], owners[valid]
+    order = np.argsort(flat, kind="stable")
+    flat, owners = flat[order], owners[order]
+    rev: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * n
+    if flat.size:
+        boundaries = np.flatnonzero(np.diff(flat)) + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [flat.size]])
+        for lo, hi in zip(starts, ends):
+            rev[int(flat[lo])] = owners[lo:hi]
+    return rev
+
+
+def _sample(rng: np.random.Generator, pool: np.ndarray, limit: int) -> np.ndarray:
+    """At most ``limit`` elements of ``pool``, sampled without replacement."""
+    if pool.size <= limit:
+        return pool
+    return rng.choice(pool, size=limit, replace=False)
+
+
+def _iterate(
+    engine: SimilarityEngine,
+    graph: KNNGraph,
+    new_flags: list[set[int]],
+    k: int,
+    sample_rate: float,
+    rng: np.random.Generator,
+) -> tuple[int, list[set[int]]]:
+    """One NN-Descent local-join pass; returns (updates, next new flags)."""
+    n = graph.n_users
+    limit = max(1, int(round(sample_rate * k)))
+    rev = _reverse_lists(graph)
+
+    # Flags for neighbours inserted during *this* iteration.
+    next_flags: list[set[int]] = [set() for _ in range(n)]
+    updates = 0
+    rev_t: list[np.ndarray] = []
+    rev_s: list[np.ndarray] = []
+    rev_sc: list[np.ndarray] = []
+
+    def flush() -> int:
+        nonlocal rev_t, rev_s, rev_sc
+        if not rev_t:
+            return 0
+        t = np.concatenate(rev_t)
+        s = np.concatenate(rev_s)
+        sc = np.concatenate(rev_sc)
+        rev_t, rev_s, rev_sc = [], [], []
+        order = np.argsort(t, kind="stable")
+        t, s, sc = t[order], s[order], sc[order]
+        boundaries = np.flatnonzero(np.diff(t)) + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [t.size]])
+        count = 0
+        for lo, hi in zip(starts, ends):
+            target = int(t[lo])
+            inserted = graph.add_batch_ids(target, s[lo:hi], sc[lo:hi])
+            next_flags[target].update(map(int, inserted))
+            count += int(inserted.size)
+        return count
+
+    for u in range(n):
+        fwd = graph.neighbors(u).astype(np.int64)
+        if fwd.size == 0:
+            continue
+        flags_u = new_flags[u]
+        fwd_new = np.array([v for v in fwd if int(v) in flags_u], dtype=np.int64)
+        fwd_old = np.setdiff1d(fwd, fwd_new, assume_unique=False)
+
+        rev_u = rev[u]
+        rev_new_mask = np.array([int(v) for v in rev_u if u in new_flags[int(v)]], dtype=np.int64)
+        rev_old_pool = np.setdiff1d(rev_u, rev_new_mask, assume_unique=False)
+
+        l_new = np.unique(
+            np.concatenate([_sample(rng, fwd_new, limit), _sample(rng, rev_new_mask, limit)])
+        )
+        l_new = l_new[l_new != u]
+        if l_new.size == 0:
+            continue
+        l_old = np.unique(
+            np.concatenate([_sample(rng, fwd_old, limit), _sample(rng, rev_old_pool, limit)])
+        )
+        l_old = np.setdiff1d(l_old, l_new, assume_unique=False)
+        l_old = l_old[l_old != u]
+
+        pool = np.concatenate([l_new, l_old])
+        # Local join: new x (new ∪ old). Compute the block once and
+        # charge the number of *distinct* pairs actually joined.
+        scores = engine.block(l_new, pool, counted=False)
+        engine.charge(l_new.size * l_old.size + l_new.size * (l_new.size - 1) // 2)
+
+        for pos, x in enumerate(l_new):
+            row = scores[pos]
+            others = pool != x
+            inserted = graph.add_batch_ids(int(x), pool[others], row[others])
+            next_flags[int(x)].update(map(int, inserted))
+            updates += int(inserted.size)
+            rev_t.append(pool[others])
+            rev_s.append(np.full(int(others.sum()), int(x), dtype=np.int64))
+            rev_sc.append(row[others])
+
+        if len(rev_t) >= _FLUSH_EVERY:
+            updates += flush()
+
+    updates += flush()
+    return updates, next_flags

@@ -1,0 +1,161 @@
+"""Experiment runner shared by all table/figure benchmarks.
+
+Centralises: dataset loading, ground-truth KNN graphs (memoised —
+they are the expensive common denominator of every experiment), the
+algorithm dispatch table, and the standard evaluation of a build
+(time, similarity count, quality vs the exact graph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..result import BuildResult
+from ..baselines.brute_force import brute_force_knn
+from ..baselines.hyrec import hyrec_knn
+from ..baselines.lsh import lsh_knn
+from ..baselines.nndescent import nndescent_knn
+from ..core.cluster_and_conquer import cluster_and_conquer
+from ..data.dataset import Dataset
+from ..data.registry import load
+from ..graph.knn_graph import KNNGraph
+from ..graph.metrics import average_similarity, quality
+from ..similarity.engine import ExactEngine, make_engine
+from .workloads import Workload
+
+__all__ = ["Run", "load_workload_dataset", "exact_graph", "run_algorithm", "evaluate_run", "ALGORITHMS"]
+
+# Memo: (dataset identity, k) -> exact KNN graph + its average similarity.
+_EXACT_CACHE: dict[tuple, tuple[KNNGraph, float]] = {}
+
+
+@dataclass(frozen=True)
+class Run:
+    """One evaluated algorithm run (a Table II-style row)."""
+
+    algorithm: str
+    dataset: str
+    seconds: float
+    comparisons: int
+    quality: float
+    result: BuildResult
+
+    def as_row(self) -> dict:
+        """Row dict for :func:`repro.bench.report.format_table`."""
+        return {
+            "Algo": self.algorithm,
+            "Dataset": self.dataset,
+            "Time (s)": f"{self.seconds:.2f}",
+            "Similarities": self.comparisons,
+            "Quality": f"{self.quality:.2f}",
+        }
+
+
+def load_workload_dataset(workload: Workload) -> Dataset:
+    """The synthetic stand-in dataset for a workload."""
+    return load(workload.dataset, scale=workload.scale, seed=42)
+
+
+def _dataset_key(dataset: Dataset) -> tuple:
+    return (dataset.name, dataset.n_users, dataset.n_items, dataset.n_ratings)
+
+
+def exact_graph(dataset: Dataset, k: int = 30) -> tuple[KNNGraph, float]:
+    """The exact KNN graph (raw-profile Jaccard) and its average
+    similarity; memoised per dataset identity."""
+    key = (*_dataset_key(dataset), k)
+    if key not in _EXACT_CACHE:
+        engine = ExactEngine(dataset)
+        result = brute_force_knn(engine, k=k)
+        _EXACT_CACHE[key] = (result.graph, average_similarity(result.graph, dataset))
+    return _EXACT_CACHE[key]
+
+
+def _run_c2(dataset: Dataset, workload: Workload, **overrides) -> BuildResult:
+    engine = make_engine(dataset, n_bits=workload.goldfinger_bits)
+    params = workload.c2_params
+    if overrides:
+        params = params.with_(**overrides)
+    return cluster_and_conquer(engine, params)
+
+
+def _run_c2_minhash(dataset: Dataset, workload: Workload) -> BuildResult:
+    return _run_c2(dataset, workload, hash_family="minhash", split_threshold=None)
+
+
+def _run_c2_raw(dataset: Dataset, workload: Workload) -> BuildResult:
+    engine = make_engine(dataset, backend="exact")
+    return cluster_and_conquer(engine, workload.c2_params)
+
+
+def _run_hyrec(dataset: Dataset, workload: Workload) -> BuildResult:
+    engine = make_engine(dataset, n_bits=workload.goldfinger_bits)
+    return hyrec_knn(
+        engine,
+        k=workload.k,
+        delta=workload.greedy_delta,
+        max_iterations=workload.greedy_max_iterations,
+        seed=workload.seed,
+    )
+
+
+def _run_nndescent(dataset: Dataset, workload: Workload) -> BuildResult:
+    engine = make_engine(dataset, n_bits=workload.goldfinger_bits)
+    return nndescent_knn(
+        engine,
+        k=workload.k,
+        delta=workload.greedy_delta,
+        max_iterations=workload.greedy_max_iterations,
+        seed=workload.seed,
+    )
+
+
+def _run_lsh(dataset: Dataset, workload: Workload) -> BuildResult:
+    engine = make_engine(dataset, n_bits=workload.goldfinger_bits)
+    return lsh_knn(
+        engine,
+        k=workload.k,
+        n_hashes=workload.lsh_hashes,
+        n_workers=workload.n_workers,
+        seed=workload.seed,
+    )
+
+
+def _run_brute(dataset: Dataset, workload: Workload) -> BuildResult:
+    engine = make_engine(dataset, n_bits=workload.goldfinger_bits)
+    return brute_force_knn(engine, k=workload.k)
+
+
+ALGORITHMS = {
+    "C2": _run_c2,
+    "C2-MinHash": _run_c2_minhash,
+    "C2-raw": _run_c2_raw,
+    "Hyrec": _run_hyrec,
+    "NNDescent": _run_nndescent,
+    "LSH": _run_lsh,
+    "BruteForce": _run_brute,
+}
+
+
+def run_algorithm(name: str, dataset: Dataset, workload: Workload) -> BuildResult:
+    """Dispatch an algorithm by its Table II name."""
+    try:
+        runner = ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(f"unknown algorithm {name!r}; expected one of {list(ALGORITHMS)}") from None
+    return runner(dataset, workload)
+
+
+def evaluate_run(
+    name: str, dataset: Dataset, workload: Workload, result: BuildResult
+) -> Run:
+    """Standard evaluation: quality against the exact graph."""
+    exact, _ = exact_graph(dataset, k=workload.k)
+    return Run(
+        algorithm=name,
+        dataset=workload.dataset,
+        seconds=result.seconds,
+        comparisons=result.comparisons,
+        quality=quality(result.graph, exact, dataset),
+        result=result,
+    )

@@ -1,0 +1,145 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``build`` — build a KNN graph with any algorithm on a paper dataset
+  (or a saved dataset file) and report time / similarity count /
+  quality.
+* ``datasets`` — print the Table I statistics of the synthetic
+  stand-ins at a given scale.
+* ``recall`` — run the Table III recommendation protocol.
+
+Examples::
+
+    python -m repro datasets --scale 0.05
+    python -m repro build --dataset ml10M --algo C2 --scale 0.05
+    python -m repro build --dataset AM --algo Hyrec --k 20
+    python -m repro recall --dataset ml1M --folds 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .baselines import brute_force_knn
+from .bench.report import format_table
+from .bench.runner import ALGORITHMS, evaluate_run, run_algorithm
+from .bench.workloads import Workload
+from .core import cluster_and_conquer
+from .data import dataset_names, describe, load, load_dataset
+from .recommend import evaluate_recall
+from .similarity import ExactEngine, make_engine
+
+__all__ = ["main"]
+
+
+def _load_dataset(args) -> object:
+    if args.file:
+        return load_dataset(args.file)
+    return load(args.dataset, scale=args.scale, seed=args.seed)
+
+
+def _cmd_datasets(args) -> int:
+    rows = []
+    for name in dataset_names():
+        rows.append(describe(load(name, scale=args.scale, seed=args.seed)).as_row())
+    print(format_table(rows, title=f"synthetic datasets at scale={args.scale}"))
+    return 0
+
+
+def _cmd_build(args) -> int:
+    dataset = _load_dataset(args)
+    workload = Workload(
+        dataset=args.dataset,
+        scale=args.scale,
+        k=args.k,
+        seed=args.seed,
+        n_workers=args.workers,
+    )
+    result = run_algorithm(args.algo, dataset, workload)
+    if args.no_quality:
+        row = {
+            "Algo": args.algo,
+            "Time (s)": f"{result.seconds:.2f}",
+            "Similarities": result.comparisons,
+        }
+    else:
+        row = evaluate_run(args.algo, dataset, workload, result).as_row()
+    print(format_table([row], title=f"{args.algo} on {dataset.name}"))
+    return 0
+
+
+def _cmd_recall(args) -> int:
+    dataset = _load_dataset(args)
+    workload = Workload(dataset=args.dataset, scale=args.scale, k=args.k, seed=args.seed)
+
+    def brute_builder(train):
+        return brute_force_knn(make_engine(train), k=args.k).graph
+
+    def c2_builder(train):
+        return cluster_and_conquer(make_engine(train), workload.c2_params).graph
+
+    brute = evaluate_recall(dataset, brute_builder, n_folds=args.folds, seed=args.seed)
+    c2 = evaluate_recall(dataset, c2_builder, n_folds=args.folds, seed=args.seed)
+    print(
+        format_table(
+            [
+                {
+                    "Dataset": dataset.name,
+                    "Brute force": f"{brute.mean_recall:.3f}",
+                    "C2": f"{c2.mean_recall:.3f}",
+                    "Delta": f"{c2.mean_recall - brute.mean_recall:+.3f}",
+                }
+            ],
+            title=f"recall @30, {args.folds}-fold CV",
+        )
+    )
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Cluster-and-Conquer KNN graph toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--dataset", default="ml1M", choices=dataset_names())
+        p.add_argument("--file", help="load a dataset saved with repro.data.save_dataset")
+        p.add_argument("--scale", type=float, default=0.05)
+        p.add_argument("--seed", type=int, default=42)
+        p.add_argument("--k", type=int, default=30)
+
+    p = sub.add_parser("datasets", help="Table I statistics of the stand-ins")
+    p.add_argument("--scale", type=float, default=0.05)
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(fn=_cmd_datasets)
+
+    p = sub.add_parser("build", help="build one KNN graph")
+    common(p)
+    p.add_argument("--algo", default="C2", choices=sorted(ALGORITHMS))
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument(
+        "--no-quality",
+        action="store_true",
+        help="skip the exact-graph quality evaluation (faster)",
+    )
+    p.set_defaults(fn=_cmd_build)
+
+    p = sub.add_parser("recall", help="Table III recommendation protocol")
+    common(p)
+    p.add_argument("--folds", type=int, default=5)
+    p.set_defaults(fn=_cmd_recall)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Cluster-and-Conquer core: hashing, clustering, scheduling, merging."""
+
+from .cluster_and_conquer import cluster_and_conquer
+from .clustering import Cluster, ClusteringResult, cluster_dataset, minhash_cluster_dataset
+from .config import C2Params, paper_params
+from .fastrandomhash import UNDEFINED, FastRandomHash
+from .hashing import (
+    GenerativeHash,
+    MinHashPermutation,
+    make_hash_family,
+    make_minhash_family,
+    splitmix64,
+    splitmix64_array,
+)
+from .local_knn import PartialKNN, brute_force_local, hyrec_local, solve_cluster
+from .merge import merge_partials
+from .scheduler import makespan_lower_bound, run_clusters
+from . import theory
+
+__all__ = [
+    "C2Params",
+    "Cluster",
+    "ClusteringResult",
+    "FastRandomHash",
+    "GenerativeHash",
+    "MinHashPermutation",
+    "PartialKNN",
+    "UNDEFINED",
+    "brute_force_local",
+    "cluster_and_conquer",
+    "cluster_dataset",
+    "hyrec_local",
+    "make_hash_family",
+    "make_minhash_family",
+    "makespan_lower_bound",
+    "merge_partials",
+    "minhash_cluster_dataset",
+    "paper_params",
+    "run_clusters",
+    "solve_cluster",
+    "splitmix64",
+    "splitmix64_array",
+    "theory",
+]

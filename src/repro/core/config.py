@@ -1,0 +1,76 @@
+"""Configuration of the Cluster-and-Conquer algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["C2Params", "paper_params"]
+
+
+@dataclass(frozen=True)
+class C2Params:
+    """Parameters of one Cluster-and-Conquer run (paper §IV-C defaults).
+
+    Attributes:
+        k: neighbourhood size of the output graph.
+        n_buckets: ``b``, clusters per hash function (paper: 4096).
+        n_hashes: ``t``, number of hash functions (paper: 8; 15 for
+            DBLP and Gowalla).
+        split_threshold: ``N``, maximum cluster size before recursive
+            splitting (paper: 2000; 4000 for ml20M); ``None`` disables
+            splitting (ablation).
+        rho: Hyrec iteration bound in the brute-force/Hyrec switch
+            ``|C| < rho * k**2`` (paper: 5).
+        delta: termination threshold of the local greedy solver.
+        max_iterations: iteration cap of the local greedy solver.
+        hash_family: ``"frh"`` (FastRandomHash, the contribution) or
+            ``"minhash"`` (Table IV ablation: t MinHash permutations,
+            no splitting).
+        n_workers: thread-pool width for Step 2 (1 = serial).
+        schedule: ``"largest_first"`` (paper) or ``"fifo"`` (ablation).
+        seed: RNG seed for hash functions and local solvers.
+    """
+
+    k: int = 30
+    n_buckets: int = 4096
+    n_hashes: int = 8
+    split_threshold: int | None = 2000
+    rho: int = 5
+    delta: float = 0.001
+    max_iterations: int = 30
+    hash_family: str = "frh"
+    n_workers: int = 1
+    schedule: str = "largest_first"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.n_buckets < 1:
+            raise ValueError("n_buckets must be >= 1")
+        if self.n_hashes < 1:
+            raise ValueError("n_hashes must be >= 1")
+        if self.split_threshold is not None and self.split_threshold < 2:
+            raise ValueError("split_threshold must be >= 2 (or None)")
+        if self.hash_family not in ("frh", "minhash"):
+            raise ValueError(f"unknown hash_family {self.hash_family!r}")
+
+    def with_(self, **changes) -> "C2Params":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+def paper_params(dataset_name: str, n_workers: int = 1, seed: int = 0) -> C2Params:
+    """The paper's per-dataset parameter choices (§IV-C).
+
+    ``t = 15`` for DBLP and Gowalla, ``N = 4000`` for ml20M, defaults
+    elsewhere.
+    """
+    n_hashes = 15 if dataset_name in ("DBLP", "GW") else 8
+    split_threshold = 4000 if dataset_name == "ml20M" else 2000
+    return C2Params(
+        n_hashes=n_hashes,
+        split_threshold=split_threshold,
+        n_workers=n_workers,
+        seed=seed,
+    )

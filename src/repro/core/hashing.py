@@ -1,0 +1,75 @@
+"""Hash-function substrate for FastRandomHash, GoldFinger and MinHash.
+
+The paper computes its FastRandomHash functions with Jenkins' hash; any
+cheap integer hash with good avalanche behaviour works (only uniformity
+over ``[1, b]`` matters for Theorems 1-2). We use the splitmix64
+finaliser, which is branch-free and fully vectorisable with numpy
+uint64 arithmetic, seeded per hash function.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._mix import splitmix64, splitmix64_array
+
+__all__ = [
+    "splitmix64",
+    "splitmix64_array",
+    "GenerativeHash",
+    "make_hash_family",
+    "MinHashPermutation",
+    "make_minhash_family",
+]
+
+
+class GenerativeHash:
+    """A generative hash function ``h : I -> [1, b]`` (paper §II-D).
+
+    The per-item hash values are materialised once as a lookup table so
+    that hashing a whole dataset is a single fancy-indexing operation.
+    """
+
+    def __init__(self, n_items: int, n_buckets: int, seed: int) -> None:
+        if n_buckets < 1:
+            raise ValueError("n_buckets must be >= 1")
+        self.n_buckets = int(n_buckets)
+        self.seed = int(seed)
+        raw = splitmix64_array(np.arange(n_items, dtype=np.uint64), seed)
+        # Values in [1, b], matching the paper's J1,b K convention.
+        self.table = (raw % np.uint64(n_buckets)).astype(np.int32) + 1
+
+    def __call__(self, items: np.ndarray) -> np.ndarray:
+        """Hash values of ``items`` (vectorised table lookup)."""
+        return self.table[items]
+
+
+def make_hash_family(n_items: int, n_buckets: int, t: int, seed: int = 0) -> list[GenerativeHash]:
+    """``t`` independent generative hash functions over ``n_items``."""
+    seeds = np.random.SeedSequence(seed).generate_state(t)
+    return [GenerativeHash(n_items, n_buckets, int(s)) for s in seeds]
+
+
+class MinHashPermutation:
+    """A min-wise independent permutation of the item set (MinHash).
+
+    Classic LSH/MinHash hashes a user to the minimum of a random
+    permutation over her items; the hash space is the item universe
+    itself (size ``m``), which is what makes MinHash fragment sparse
+    datasets — the contrast FastRandomHash exploits (paper §II-E).
+    """
+
+    def __init__(self, n_items: int, seed: int) -> None:
+        self.seed = int(seed)
+        rng = np.random.default_rng(seed)
+        self.table = rng.permutation(n_items).astype(np.int64)
+
+    def __call__(self, items: np.ndarray) -> np.ndarray:
+        """Permuted ranks of ``items``."""
+        return self.table[items]
+
+
+def make_minhash_family(n_items: int, t: int, seed: int = 0) -> list[MinHashPermutation]:
+    """``t`` independent MinHash permutations over ``n_items``."""
+    seeds = np.random.SeedSequence(seed).generate_state(t)
+    return [MinHashPermutation(n_items, int(s)) for s in seeds]

@@ -1,0 +1,165 @@
+"""Step 2 of Cluster-and-Conquer: the per-cluster KNN solver (Alg. 2).
+
+The hybrid rule follows the paper's cost model: brute force computes
+``|C|(|C|-1)/2`` similarities while Hyrec is bounded by
+``ρ k² |C| / 2``, so brute force wins when ``|C| < ρ k²`` (with
+``ρ = 5`` iterations, the paper's setting). The split threshold
+``N = 2000`` is deliberately below ``ρ k² = 4500`` "to privilege Brute
+Force which tends to deliver better sub-KNNs than Hyrec".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.heap import EMPTY
+from ..graph.knn_graph import KNNGraph
+from ..similarity.engine import SimilarityEngine
+
+__all__ = ["PartialKNN", "solve_cluster", "brute_force_local", "hyrec_local"]
+
+_ROW_BLOCK = 512
+
+
+class PartialKNN:
+    """Partial KNN graph of one cluster, in global user ids.
+
+    ``ids[p]`` / ``scores[p]`` describe the neighbourhood found for
+    ``users[p]`` within the cluster (``EMPTY`` marks unused slots).
+    """
+
+    def __init__(self, users: np.ndarray, ids: np.ndarray, scores: np.ndarray) -> None:
+        self.users = users
+        self.ids = ids
+        self.scores = scores
+
+    def neighborhood(self, pos: int) -> tuple[np.ndarray, np.ndarray]:
+        """Valid ``(ids, scores)`` of the ``pos``-th cluster member."""
+        mask = self.ids[pos] != EMPTY
+        return self.ids[pos][mask], self.scores[pos][mask]
+
+
+def brute_force_local(engine: SimilarityEngine, users: np.ndarray, k: int) -> PartialKNN:
+    """Exact local KNN: all ``|C|(|C|-1)/2`` pairs within the cluster.
+
+    Row-blocked so memory stays ``O(block * |C|)`` even for the large
+    unsplit buckets the LSH baseline produces. The engine is charged
+    the analytic pair count once.
+    """
+    users = np.asarray(users, dtype=np.int64)
+    c = users.size
+    ids = np.full((c, k), EMPTY, dtype=np.int32)
+    scores = np.full((c, k), -np.inf, dtype=np.float64)
+    if c < 2:
+        return PartialKNN(users, ids, scores)
+
+    engine.charge(c * (c - 1) // 2)
+    take = min(k, c - 1)
+    for start in range(0, c, _ROW_BLOCK):
+        stop = min(start + _ROW_BLOCK, c)
+        block = engine.block(users[start:stop], users, counted=False)
+        # Exclude self-similarity before the top-k selection.
+        rows = np.arange(start, stop)
+        block[rows - start, rows] = -np.inf
+        top = np.argpartition(-block, take - 1, axis=1)[:, :take]
+        rows_local = np.arange(stop - start)[:, None]
+        ids[start:stop, :take] = users[top].astype(np.int32)
+        scores[start:stop, :take] = block[rows_local, top]
+    return PartialKNN(users, ids, scores)
+
+
+def hyrec_local(
+    engine: SimilarityEngine,
+    users: np.ndarray,
+    k: int,
+    delta: float = 0.001,
+    max_iterations: int = 30,
+    seed: int = 0,
+) -> PartialKNN:
+    """Hyrec restricted to a cluster (greedy neighbours-of-neighbours).
+
+    Used when a cluster is too large for brute force. Operates on a
+    local index space; similarities are evaluated on the global engine.
+    """
+    users = np.asarray(users, dtype=np.int64)
+    c = users.size
+    graph = KNNGraph(c, k)
+    rng = np.random.default_rng(seed)
+
+    # Random initial k-degree graph within the cluster.
+    for lu in range(c):
+        take = min(k, c - 1)
+        if take <= 0:
+            continue
+        cands = rng.choice(c - 1, size=take, replace=False)
+        cands[cands >= lu] += 1
+        sims = engine.one_to_many(int(users[lu]), users[cands])
+        graph.add_batch(lu, cands, sims)
+
+    for _ in range(max_iterations):
+        updates = 0
+        rev_targets: list[np.ndarray] = []
+        rev_sources: list[np.ndarray] = []
+        rev_scores: list[np.ndarray] = []
+        for lu in range(c):
+            nbrs = graph.neighbors(lu)
+            if nbrs.size == 0:
+                continue
+            non = graph.heaps.ids[nbrs]
+            cands = np.unique(non[non != EMPTY])
+            cands = cands[(cands != lu) & ~np.isin(cands, nbrs)]
+            if cands.size == 0:
+                continue
+            sims = engine.one_to_many(int(users[lu]), users[cands])
+            updates += graph.add_batch(lu, cands, sims)
+            rev_targets.append(cands)
+            rev_sources.append(np.full(cands.size, lu, dtype=np.int64))
+            rev_scores.append(sims)
+        updates += _apply_reverse(graph, rev_targets, rev_sources, rev_scores)
+        if updates < delta * k * c:
+            break
+
+    ids, scores = graph.to_arrays()
+    global_ids = np.where(ids != EMPTY, users[np.clip(ids, 0, None)], EMPTY).astype(np.int32)
+    return PartialKNN(users, global_ids, scores)
+
+
+def _apply_reverse(
+    graph: KNNGraph,
+    targets: list[np.ndarray],
+    sources: list[np.ndarray],
+    scores: list[np.ndarray],
+) -> int:
+    """Apply accumulated symmetric updates, grouped per target user."""
+    if not targets:
+        return 0
+    t = np.concatenate(targets)
+    s = np.concatenate(sources)
+    sc = np.concatenate(scores)
+    order = np.argsort(t, kind="stable")
+    t, s, sc = t[order], s[order], sc[order]
+    boundaries = np.flatnonzero(np.diff(t)) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [t.size]])
+    updates = 0
+    for lo, hi in zip(starts, ends):
+        updates += graph.add_batch(int(t[lo]), s[lo:hi], sc[lo:hi])
+    return updates
+
+
+def solve_cluster(
+    engine: SimilarityEngine,
+    users: np.ndarray,
+    k: int,
+    rho: int = 5,
+    delta: float = 0.001,
+    max_iterations: int = 30,
+    seed: int = 0,
+) -> PartialKNN:
+    """Alg. 2: brute force if ``|C| < ρ k²``, Hyrec otherwise."""
+    users = np.asarray(users, dtype=np.int64)
+    if users.size < rho * k * k:
+        return brute_force_local(engine, users, k)
+    return hyrec_local(
+        engine, users, k, delta=delta, max_iterations=max_iterations, seed=seed
+    )

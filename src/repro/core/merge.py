@@ -1,0 +1,29 @@
+"""Step 3 of Cluster-and-Conquer: merging partial KNN graphs (Alg. 3).
+
+Each user appears in ``t`` clusters (one per hashing configuration) and
+is connected to up to ``t * k`` candidate neighbours; the merge keeps
+the best ``k`` per user in a bounded heap. Similarity values computed
+by the local solvers travel with the edges, so no similarity is ever
+recomputed during the merge — the paper's "careful to reuse similarity
+values" optimisation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..graph.knn_graph import KNNGraph
+from .local_knn import PartialKNN
+
+__all__ = ["merge_partials"]
+
+
+def merge_partials(partials: Iterable[PartialKNN], n_users: int, k: int) -> KNNGraph:
+    """Merge per-cluster partial KNN graphs into the global graph."""
+    graph = KNNGraph(n_users, k)
+    for partial in partials:
+        for pos, user in enumerate(partial.users):
+            ids, scores = partial.neighborhood(pos)
+            if ids.size:
+                graph.add_batch(int(user), ids, scores)
+    return graph

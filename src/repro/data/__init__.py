@@ -1,0 +1,30 @@
+"""Dataset substrate: model, synthetic generators, transforms, CV."""
+
+from .cv import Fold, k_fold_split
+from .dataset import Dataset
+from .io import load_dataset, save_dataset
+from .sampling import sample_profiles
+from .registry import DEFAULT_SCALE, PAPER_SPECS, dataset_names, load
+from .stats import DatasetStats, describe
+from .synthetic import SyntheticSpec, generate
+from .transforms import binarize_ratings, compact_items, filter_min_ratings
+
+__all__ = [
+    "Dataset",
+    "DatasetStats",
+    "DEFAULT_SCALE",
+    "Fold",
+    "PAPER_SPECS",
+    "SyntheticSpec",
+    "binarize_ratings",
+    "compact_items",
+    "dataset_names",
+    "describe",
+    "filter_min_ratings",
+    "generate",
+    "k_fold_split",
+    "load",
+    "load_dataset",
+    "sample_profiles",
+    "save_dataset",
+]

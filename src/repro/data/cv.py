@@ -1,0 +1,94 @@
+"""5-fold cross-validation over ratings, as used for the paper's
+recommendation experiments (Table III).
+
+Each user's profile is partitioned into ``n_folds`` item groups. A
+fold's *train* dataset keeps the other groups; the held-out items form
+the fold's per-user *test* sets, which recall is measured against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dataset import Dataset
+
+__all__ = ["Fold", "k_fold_split"]
+
+
+@dataclass(frozen=True)
+class Fold:
+    """One cross-validation fold.
+
+    Attributes:
+        train: dataset with the held-out items removed.
+        test_indptr / test_indices: CSR layout of the held-out items
+            (``test_indices[test_indptr[u]:test_indptr[u+1]]`` are the
+            items hidden from user ``u``).
+    """
+
+    train: Dataset
+    test_indptr: np.ndarray
+    test_indices: np.ndarray
+
+    def test_items(self, user: int) -> np.ndarray:
+        """Held-out items of ``user`` in this fold."""
+        return self.test_indices[self.test_indptr[user] : self.test_indptr[user + 1]]
+
+
+def k_fold_split(dataset: Dataset, n_folds: int = 5, seed: int = 0) -> list[Fold]:
+    """Split each user's profile into ``n_folds`` folds.
+
+    Item-level split: every rating is assigned a fold uniformly at
+    random (per-user permutation, so folds are balanced within each
+    user up to rounding). Users always keep at least one training item
+    so similarity stays defined.
+    """
+    if n_folds < 2:
+        raise ValueError("n_folds must be >= 2")
+    rng = np.random.default_rng(seed)
+    n = dataset.n_users
+
+    # Assign a fold label to every rating, balanced within each user.
+    fold_of = np.empty(dataset.n_ratings, dtype=np.int8)
+    for u in range(n):
+        lo, hi = dataset.indptr[u], dataset.indptr[u + 1]
+        size = hi - lo
+        labels = np.arange(size) % n_folds
+        rng.shuffle(labels)
+        # Guarantee at least one training item per user in every fold:
+        # with size >= min 20 ratings this is automatic, but guard small
+        # profiles anyway by forcing label of the first item to differ.
+        if size > 0 and np.all(labels == labels[0]):
+            labels[0] = (labels[0] + 1) % n_folds
+        fold_of[lo:hi] = labels
+
+    folds = []
+    for f in range(n_folds):
+        test_mask = fold_of == f
+        train_mask = ~test_mask
+
+        def build(mask: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            counts = np.empty(n, dtype=np.int64)
+            for u in range(n):
+                counts[u] = int(mask[dataset.indptr[u] : dataset.indptr[u + 1]].sum())
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            return indptr, dataset.indices[mask].copy()
+
+        train_indptr, train_indices = build(train_mask)
+        test_indptr, test_indices = build(test_mask)
+        folds.append(
+            Fold(
+                train=Dataset(
+                    indptr=train_indptr,
+                    indices=train_indices,
+                    n_items=dataset.n_items,
+                    name=f"{dataset.name}-fold{f}",
+                ),
+                test_indptr=test_indptr,
+                test_indices=test_indices,
+            )
+        )
+    return folds

@@ -1,0 +1,48 @@
+"""Plain-text persistence for datasets.
+
+Format: one header line ``#users n_users n_items`` followed by one line
+per user listing the space-separated item ids of their profile (an
+empty line for an empty profile). Human-readable and diff-friendly —
+the same role the paper's preprocessed rating files play.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .dataset import Dataset
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_HEADER = "#users"
+
+
+def save_dataset(dataset: Dataset, path: str | Path) -> None:
+    """Write ``dataset`` to ``path`` in the text profile format."""
+    path = Path(path)
+    with path.open("w", encoding="ascii") as f:
+        f.write(f"{_HEADER} {dataset.n_users} {dataset.n_items} {dataset.name}\n")
+        for _, profile in dataset.iter_profiles():
+            f.write(" ".join(str(int(i)) for i in profile))
+            f.write("\n")
+
+
+def load_dataset(path: str | Path) -> Dataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    path = Path(path)
+    with path.open("r", encoding="ascii") as f:
+        header = f.readline().split()
+        if len(header) < 3 or header[0] != _HEADER:
+            raise ValueError(f"{path}: not a repro dataset file")
+        n_users, n_items = int(header[1]), int(header[2])
+        name = header[3] if len(header) > 3 else path.stem
+        profiles = []
+        for _ in range(n_users):
+            line = f.readline()
+            if not line:
+                raise ValueError(f"{path}: truncated file")
+            tokens = line.split()
+            profiles.append(np.array([int(t) for t in tokens], dtype=np.int64))
+    return Dataset.from_profiles(profiles, n_items=n_items, name=name)

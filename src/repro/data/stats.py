@@ -1,0 +1,56 @@
+"""Dataset statistics in the format of the paper's Table I."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dataset import Dataset
+
+__all__ = ["DatasetStats", "describe"]
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Table-I style summary of a dataset.
+
+    ``mean_profile_size`` is the paper's ``|P_u|`` column (mean items
+    per user); ``mean_item_degree`` is ``|P_i|`` (mean users per item,
+    counted over items with at least one user).
+    """
+
+    name: str
+    n_users: int
+    n_items: int
+    n_ratings: int
+    mean_profile_size: float
+    mean_item_degree: float
+    density: float
+
+    def as_row(self) -> dict:
+        """The stats as a plain dict (one table row)."""
+        return {
+            "Dataset": self.name,
+            "Users": self.n_users,
+            "Items": self.n_items,
+            "Ratings": self.n_ratings,
+            "|Pu|": round(self.mean_profile_size, 2),
+            "|Pi|": round(self.mean_item_degree, 2),
+            "Density": f"{self.density * 100:.3f}%",
+        }
+
+
+def describe(dataset: Dataset) -> DatasetStats:
+    """Compute Table-I statistics for ``dataset``."""
+    item_degrees = np.bincount(dataset.indices, minlength=dataset.n_items)
+    used_items = item_degrees[item_degrees > 0]
+    return DatasetStats(
+        name=dataset.name,
+        n_users=dataset.n_users,
+        n_items=dataset.n_items,
+        n_ratings=dataset.n_ratings,
+        mean_profile_size=float(dataset.profile_sizes.mean()) if dataset.n_users else 0.0,
+        mean_item_degree=float(used_items.mean()) if used_items.size else 0.0,
+        density=dataset.density,
+    )

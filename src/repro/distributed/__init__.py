@@ -1,0 +1,5 @@
+"""Simulated distributed (map-reduce) deployment of C² (§VIII)."""
+
+from .simulator import MapReduceCost, simulate_mapreduce
+
+__all__ = ["MapReduceCost", "simulate_mapreduce"]

@@ -1,0 +1,119 @@
+"""Simulated map-reduce deployment of Cluster-and-Conquer (§VIII).
+
+The paper's conclusion argues C² is "particularly amenable to
+large-scale distributed deployments, in particular within a map-reduce
+infrastructure": clusters are independent work units (map), and the
+bounded-heap merge is a per-user reduction. No distributed runtime is
+available offline, so this module provides a deterministic *simulator*
+of such a deployment, with an explicit cost model:
+
+* **map**: each cluster costs its local-KNN similarity count
+  (``s(s-1)/2`` for brute-forced clusters, ``ρk²s/2`` for Hyrec-solved
+  ones — the paper's own cost model from Alg. 2);
+* **shuffle**: each cluster emits ``s * k`` (user, neighbour, score)
+  records routed to per-user reducers;
+* **reduce**: each user merges up to ``t * k`` candidates.
+
+The simulator performs greedy longest-processing-time assignment of
+map tasks to workers (the distributed analogue of the paper's
+largest-first scheduling) and reports the resulting makespan, speed-up
+and shuffle volume, so the scalability claim can be examined
+quantitatively at any worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import heapq
+
+import numpy as np
+
+from ..core.clustering import ClusteringResult
+
+__all__ = ["MapReduceCost", "simulate_mapreduce"]
+
+
+@dataclass(frozen=True)
+class MapReduceCost:
+    """Outcome of one simulated map-reduce execution.
+
+    Attributes:
+        n_workers: mappers in the simulated cluster.
+        map_makespan: similarity-evaluation cost of the slowest mapper.
+        total_map_work: sum of all map work (1-worker makespan).
+        speedup: ``total_map_work / map_makespan``.
+        efficiency: ``speedup / n_workers`` (1.0 = perfectly balanced).
+        shuffle_records: (user, neighbour, score) triples shuffled.
+        max_reducer_load: candidates merged by the busiest reducer.
+    """
+
+    n_workers: int
+    map_makespan: float
+    total_map_work: float
+    speedup: float
+    efficiency: float
+    shuffle_records: int
+    max_reducer_load: int
+
+
+def _map_task_cost(size: int, k: int, rho: int) -> float:
+    """Alg. 2 cost model: brute force below ``ρk²``, Hyrec above."""
+    if size < 2:
+        return 0.0
+    if size < rho * k * k:
+        return size * (size - 1) / 2
+    return rho * k * k * size / 2
+
+
+def simulate_mapreduce(
+    clustering: ClusteringResult,
+    n_workers: int,
+    k: int = 30,
+    rho: int = 5,
+) -> MapReduceCost:
+    """Simulate a map-reduce execution of C²'s Step 2 + Step 3.
+
+    Map tasks (clusters) are assigned largest-first to the least-loaded
+    worker (greedy LPT — the distributed counterpart of the paper's
+    size-ordered priority queue).
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+
+    sizes = np.array([c.size for c in clustering.clusters], dtype=np.int64)
+    costs = np.array([_map_task_cost(int(s), k, rho) for s in sizes])
+
+    # Greedy LPT assignment.
+    workers = [0.0] * n_workers
+    heapq.heapify(workers)
+    for cost in -np.sort(-costs):
+        load = heapq.heappop(workers)
+        heapq.heappush(workers, load + float(cost))
+    makespan = max(workers)
+    total = float(costs.sum())
+
+    # Shuffle: every cluster member emits up to k candidate edges.
+    shuffle = int(np.minimum(sizes - 1, k).clip(min=0) @ sizes)
+
+    # Reducer load: per user, one candidate set of up to k per cluster
+    # membership (t memberships before splitting; splitting preserves
+    # the count).
+    reducer_loads = np.zeros(0, dtype=np.int64)
+    if sizes.size:
+        n_users = max(int(c.users.max()) for c in clustering.clusters if c.size) + 1
+        reducer_loads = np.zeros(n_users, dtype=np.int64)
+        for cluster in clustering.clusters:
+            if cluster.size >= 2:
+                reducer_loads[cluster.users] += min(cluster.size - 1, k)
+
+    speedup = total / makespan if makespan > 0 else float(n_workers)
+    return MapReduceCost(
+        n_workers=n_workers,
+        map_makespan=makespan,
+        total_map_work=total,
+        speedup=speedup,
+        efficiency=speedup / n_workers,
+        shuffle_records=shuffle,
+        max_reducer_load=int(reducer_loads.max()) if reducer_loads.size else 0,
+    )

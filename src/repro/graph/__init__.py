@@ -1,0 +1,15 @@
+"""KNN graph substrate: bounded heaps, graph object, metrics."""
+
+from .heap import EMPTY, NeighborHeaps
+from .knn_graph import KNNGraph, random_graph
+from .metrics import average_similarity, edge_recall, quality
+
+__all__ = [
+    "EMPTY",
+    "KNNGraph",
+    "NeighborHeaps",
+    "average_similarity",
+    "edge_recall",
+    "quality",
+    "random_graph",
+]

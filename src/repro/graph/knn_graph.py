@@ -1,0 +1,98 @@
+"""The KNN graph object returned by every algorithm in this library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..similarity.engine import SimilarityEngine
+from .heap import EMPTY, NeighborHeaps
+
+__all__ = ["KNNGraph", "random_graph"]
+
+
+class KNNGraph:
+    """An (approximate) K-nearest-neighbour graph over ``n`` users.
+
+    Thin wrapper around :class:`NeighborHeaps` adding graph-level
+    queries. Construction algorithms mutate the underlying heaps; a
+    finished graph is usually treated as read-only.
+    """
+
+    def __init__(self, n_users: int, k: int) -> None:
+        self.heaps = NeighborHeaps(n_users, k)
+
+    # -- structure -------------------------------------------------------
+
+    @property
+    def n_users(self) -> int:
+        """Number of users (nodes)."""
+        return self.heaps.n
+
+    @property
+    def k(self) -> int:
+        """Neighbourhood capacity."""
+        return self.heaps.k
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Neighbour ids of ``u`` (unordered)."""
+        return self.heaps.neighbors(u)
+
+    def neighborhood(self, u: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(ids, scores)`` of ``u``'s neighbours, best first."""
+        return self.heaps.items(u)
+
+    def add(self, u: int, v: int, score: float) -> bool:
+        """Offer edge ``u -> v`` with ``score``; True if kept."""
+        return self.heaps.push(u, v, score)
+
+    def add_batch(self, u: int, cands: np.ndarray, scores: np.ndarray) -> int:
+        """Offer many candidate neighbours to ``u``; returns #insertions."""
+        return int(self.heaps.push_batch(u, cands, scores).size)
+
+    def add_batch_ids(self, u: int, cands: np.ndarray, scores: np.ndarray) -> np.ndarray:
+        """Like :meth:`add_batch` but returns the inserted neighbour ids."""
+        return self.heaps.push_batch(u, cands, scores)
+
+    def edge_count(self) -> int:
+        """Number of directed edges currently stored."""
+        return int((self.heaps.ids != EMPTY).sum())
+
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Copies of the raw ``(ids, scores)`` arrays, shape ``(n, k)``."""
+        return self.heaps.ids.copy(), self.heaps.scores.copy()
+
+    def to_dict(self) -> dict[int, list[tuple[int, float]]]:
+        """Plain-Python view ``{u: [(v, score), ...best first]}``."""
+        out = {}
+        for u in range(self.n_users):
+            ids, scores = self.neighborhood(u)
+            out[u] = [(int(v), float(s)) for v, s in zip(ids, scores)]
+        return out
+
+    def copy(self) -> "KNNGraph":
+        """Deep copy of the graph."""
+        g = KNNGraph(self.n_users, self.k)
+        g.heaps.ids[:] = self.heaps.ids
+        g.heaps.scores[:] = self.heaps.scores
+        return g
+
+
+def random_graph(engine: SimilarityEngine, k: int, seed: int = 0) -> KNNGraph:
+    """The random ``k``-degree starting graph of greedy algorithms.
+
+    Each user gets ``k`` distinct random neighbours with their true
+    (engine-scored, counted) similarities — the paper's "initial random
+    k-degree graph" whose poor graph locality C² is designed to fix.
+    """
+    rng = np.random.default_rng(seed)
+    n = engine.n_users
+    graph = KNNGraph(n, k)
+    for u in range(n):
+        take = min(k, n - 1)
+        if take <= 0:
+            continue
+        cands = rng.choice(n - 1, size=take, replace=False)
+        cands[cands >= u] += 1  # skip u itself
+        scores = engine.one_to_many(u, cands)
+        graph.add_batch(u, cands, scores)
+    return graph

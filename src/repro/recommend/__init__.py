@@ -1,0 +1,12 @@
+"""Recommendation application: user-based CF + recall evaluation."""
+
+from .cf import recommend_all, recommend_items
+from .evaluation import RecallResult, evaluate_recall, recall_at
+
+__all__ = [
+    "RecallResult",
+    "evaluate_recall",
+    "recall_at",
+    "recommend_all",
+    "recommend_items",
+]

@@ -1,0 +1,64 @@
+"""Common result type returned by every KNN-graph builder.
+
+Lives at the package root (not under ``baselines``) because both the
+baselines and the C2 core produce it - keeping it neutral avoids an
+import cycle between the two.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from .graph.knn_graph import KNNGraph
+from .similarity.engine import SimilarityEngine
+
+__all__ = ["BuildResult", "track_build"]
+
+
+@dataclass
+class BuildResult:
+    """Outcome of one KNN-graph construction run.
+
+    Attributes:
+        graph: the (approximate) KNN graph.
+        seconds: wall-clock build time.
+        comparisons: similarity evaluations charged to the engine
+            during the build (the paper's hardware-independent cost).
+        iterations: refinement iterations (0 for one-shot algorithms).
+        extra: algorithm-specific diagnostics (cluster sizes, update
+            counts per iteration, ...).
+    """
+
+    graph: KNNGraph
+    seconds: float
+    comparisons: int
+    iterations: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def scan_rate(self) -> float:
+        """Comparisons normalised by the brute-force pair count."""
+        n = self.graph.n_users
+        pairs = n * (n - 1) // 2
+        return self.comparisons / pairs if pairs else 0.0
+
+
+@contextmanager
+def track_build(engine: SimilarityEngine):
+    """Context manager measuring time and comparisons of a build.
+
+    Yields a dict that the ``with`` body may extend; on exit it holds
+    ``seconds`` and ``comparisons`` keys computed from the engine's
+    counter delta, so nested/preceding runs on the same engine do not
+    pollute each other.
+    """
+    start_count = engine.comparisons
+    info: dict = {}
+    start = time.perf_counter()
+    try:
+        yield info
+    finally:
+        info["seconds"] = time.perf_counter() - start
+        info["comparisons"] = engine.comparisons - start_count

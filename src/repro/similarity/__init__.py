@@ -1,0 +1,35 @@
+"""Similarity substrate: exact Jaccard/cosine, GoldFinger, engines."""
+
+from .bloom import BloomFilterTable
+from .cosine import cosine_matrix, cosine_one_to_many, cosine_pair
+from .engine import (
+    BloomEngine,
+    ExactEngine,
+    GoldFingerEngine,
+    SimilarityEngine,
+    make_engine,
+)
+from .goldfinger import GoldFinger
+from .jaccard import (
+    intersection_size,
+    jaccard_matrix,
+    jaccard_one_to_many,
+    jaccard_pair,
+)
+
+__all__ = [
+    "BloomEngine",
+    "BloomFilterTable",
+    "ExactEngine",
+    "GoldFinger",
+    "GoldFingerEngine",
+    "SimilarityEngine",
+    "cosine_matrix",
+    "cosine_one_to_many",
+    "cosine_pair",
+    "intersection_size",
+    "jaccard_matrix",
+    "jaccard_one_to_many",
+    "jaccard_pair",
+    "make_engine",
+]

@@ -1,0 +1,119 @@
+"""GoldFinger: compact fingerprints for fast Jaccard estimation.
+
+GoldFinger (Guerraoui et al., ICDE 2019 / WWW 2020) summarises each
+user's profile into a ``B``-bit vector — the *Single Hash Fingerprint*
+(SHF): bit ``hash(i) mod B`` is set for every item ``i`` in the
+profile. The Jaccard similarity of two profiles is then estimated from
+the fingerprints alone:
+
+    J(u, v) ≈ popcount(fp_u AND fp_v) / popcount(fp_u OR fp_v)
+
+The paper runs *all* competitors with 1024-bit GoldFinger vectors, and
+ablates them against raw profiles in Table V. Fingerprints are stored
+as ``(n_users, B / 64)`` uint64 arrays; batch estimates use
+``np.bitwise_count`` so a one-vs-many estimate is a handful of
+vectorised operations regardless of profile sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._mix import splitmix64_array
+from ..data.dataset import Dataset
+
+__all__ = ["GoldFinger"]
+
+_WORD_BITS = 64
+
+
+class GoldFinger:
+    """A table of Single Hash Fingerprints for one dataset.
+
+    Args:
+        dataset: profiles to fingerprint.
+        n_bits: fingerprint width ``B`` (power of two, 64..8192; the
+            paper's experiments use 1024).
+        seed: seed of the item hash function.
+    """
+
+    def __init__(self, dataset: Dataset, n_bits: int = 1024, seed: int = 7) -> None:
+        if n_bits < _WORD_BITS or n_bits % _WORD_BITS:
+            raise ValueError(f"n_bits must be a positive multiple of {_WORD_BITS}")
+        self.n_bits = int(n_bits)
+        self.n_words = self.n_bits // _WORD_BITS
+        self.seed = int(seed)
+
+        # Hash every item id once, then scatter bits per profile.
+        item_bits = splitmix64_array(np.arange(dataset.n_items, dtype=np.uint64), seed) % np.uint64(self.n_bits)
+        words = (item_bits // _WORD_BITS).astype(np.int64)
+        masks = (np.uint64(1) << (item_bits % np.uint64(_WORD_BITS))).astype(np.uint64)
+
+        fp = np.zeros((dataset.n_users, self.n_words), dtype=np.uint64)
+        item_words = words[dataset.indices]
+        item_masks = masks[dataset.indices]
+        rows = np.repeat(np.arange(dataset.n_users, dtype=np.int64), np.diff(dataset.indptr))
+        np.bitwise_or.at(fp, (rows, item_words), item_masks)
+        self.fingerprints = fp
+        self._sizes = np.bitwise_count(fp).sum(axis=1).astype(np.int64)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_users(self) -> int:
+        """Number of fingerprinted users."""
+        return self.fingerprints.shape[0]
+
+    def fingerprint_size(self, user: int) -> int:
+        """Number of set bits in ``user``'s fingerprint."""
+        return int(self._sizes[user])
+
+    def estimate_pair(self, u: int, v: int) -> float:
+        """Estimated Jaccard similarity between users ``u`` and ``v``."""
+        a, b = self.fingerprints[u], self.fingerprints[v]
+        inter = int(np.bitwise_count(a & b).sum())
+        union = int(np.bitwise_count(a | b).sum())
+        return inter / union if union else 0.0
+
+    def estimate_one_to_many(self, user: int, others: np.ndarray) -> np.ndarray:
+        """Estimated Jaccard of ``user`` against each user in ``others``."""
+        others = np.asarray(others, dtype=np.int64)
+        if others.size == 0:
+            return np.empty(0, dtype=np.float64)
+        a = self.fingerprints[user]
+        rows = self.fingerprints[others]
+        inter = np.bitwise_count(a[None, :] & rows).sum(axis=1).astype(np.float64)
+        union = np.bitwise_count(a[None, :] | rows).sum(axis=1).astype(np.float64)
+        out = np.zeros(others.size, dtype=np.float64)
+        nz = union > 0
+        out[nz] = inter[nz] / union[nz]
+        return out
+
+    def estimate_block(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Estimate block of shape ``(len(us), len(vs))``.
+
+        Row-chunked so temporaries stay bounded regardless of block size.
+        """
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        rows_v = self.fingerprints[vs]
+        out = np.zeros((us.size, vs.size), dtype=np.float64)
+        block = max(1, (1 << 22) // max(1, vs.size * self.n_words))
+        for start in range(0, us.size, block):
+            chunk = self.fingerprints[us[start : start + block]]
+            inter = np.bitwise_count(chunk[:, None, :] & rows_v[None, :, :]).sum(axis=2).astype(np.float64)
+            union = np.bitwise_count(chunk[:, None, :] | rows_v[None, :, :]).sum(axis=2).astype(np.float64)
+            nz = union > 0
+            res = np.zeros_like(inter)
+            res[nz] = inter[nz] / union[nz]
+            out[start : start + block] = res
+        return out
+
+    def estimate_matrix(self, users: np.ndarray) -> np.ndarray:
+        """Dense pairwise estimate matrix for ``users``.
+
+        ``O(len(users)^2 * n_words)`` time and memory; intended for
+        clusters (the paper caps cluster sizes at ``N = 2000``).
+        """
+        users = np.asarray(users, dtype=np.int64)
+        return self.estimate_block(users, users)

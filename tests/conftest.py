@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, SyntheticSpec, generate
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> Dataset:
+    """A fixed 6-user dataset with hand-checkable similarities."""
+    return Dataset.from_profiles(
+        [
+            [0, 1, 2, 3],        # u0
+            [0, 1, 2, 4],        # u1: J(u0,u1)=3/5
+            [0, 1, 2, 3],        # u2: identical to u0
+            [5, 6, 7],           # u3: disjoint from u0
+            [3, 5, 6, 7, 8],     # u4
+            [0, 3],              # u5
+        ],
+        n_items=9,
+        name="tiny",
+    )
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> Dataset:
+    """A 300-user synthetic dataset with planted community structure."""
+    spec = SyntheticSpec(
+        name="small",
+        n_users=300,
+        n_items=500,
+        mean_profile_size=35.0,
+        n_communities=10,
+        community_pool_size=80,
+        min_profile_size=10,
+    )
+    return generate(spec, seed=123)
+
+
+@pytest.fixture(scope="session")
+def medium_dataset() -> Dataset:
+    """A 800-user synthetic dataset (for integration tests)."""
+    spec = SyntheticSpec(
+        name="medium",
+        n_users=800,
+        n_items=1200,
+        mean_profile_size=40.0,
+        n_communities=16,
+        community_pool_size=120,
+        min_profile_size=15,
+    )
+    return generate(spec, seed=7)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic RNG per test."""
+    return np.random.default_rng(0)

@@ -1,0 +1,86 @@
+"""Unit tests for repro.similarity.bloom (+ BloomEngine)."""
+
+import numpy as np
+import pytest
+
+from repro.similarity import BloomEngine, BloomFilterTable, jaccard_matrix, make_engine
+
+
+class TestBloomFilterTable:
+    def test_rejects_bad_width(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            BloomFilterTable(tiny_dataset, n_bits=100)
+
+    def test_rejects_zero_hashes(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            BloomFilterTable(tiny_dataset, n_hashes=0)
+
+    def test_identical_profiles_estimate_one(self, tiny_dataset):
+        bf = BloomFilterTable(tiny_dataset, n_bits=512)
+        assert bf.estimate_pair(0, 2) == pytest.approx(1.0)
+
+    def test_disjoint_profiles_near_zero(self, tiny_dataset):
+        bf = BloomFilterTable(tiny_dataset, n_bits=8192, n_hashes=2)
+        assert bf.estimate_pair(0, 3) <= 0.15
+
+    def test_estimates_in_unit_interval(self, small_dataset):
+        bf = BloomFilterTable(small_dataset, n_bits=256, n_hashes=3)
+        est = bf.estimate_one_to_many(0, np.arange(1, 100))
+        assert np.all(est >= 0.0) and np.all(est <= 1.0)
+
+    def test_one_to_many_matches_pair(self, small_dataset):
+        bf = BloomFilterTable(small_dataset, n_bits=512)
+        others = np.arange(1, 30)
+        got = bf.estimate_one_to_many(0, others)
+        want = [bf.estimate_pair(0, int(v)) for v in others]
+        np.testing.assert_allclose(got, want)
+
+    def test_single_hash_close_to_goldfinger_accuracy(self, small_dataset):
+        """h=1 Bloom filters are SHFs; accuracy should be comparable."""
+        bf = BloomFilterTable(small_dataset, n_bits=1024, n_hashes=1)
+        users = np.arange(40)
+        exact = jaccard_matrix(small_dataset, users)
+        est = np.array(
+            [bf.estimate_one_to_many(int(u), users) for u in users]
+        )
+        assert np.abs(est - exact).mean() < 0.08
+
+    def test_more_bits_more_accurate(self, small_dataset):
+        users = np.arange(40)
+        exact = jaccard_matrix(small_dataset, users)
+        errs = {}
+        for bits in (64, 2048):
+            bf = BloomFilterTable(small_dataset, n_bits=bits, n_hashes=2)
+            est = np.array(
+                [bf.estimate_one_to_many(int(u), users) for u in users]
+            )
+            errs[bits] = np.abs(est - exact).mean()
+        assert errs[2048] < errs[64]
+
+
+class TestBloomEngine:
+    def test_make_engine_backend(self, small_dataset):
+        engine = make_engine(small_dataset, backend="bloom", n_bits=512)
+        assert isinstance(engine, BloomEngine)
+
+    def test_counts(self, small_dataset):
+        engine = BloomEngine(small_dataset, n_bits=256)
+        engine.one_to_many(0, np.arange(1, 6))
+        assert engine.comparisons == 5
+
+    def test_rejects_cosine(self, small_dataset):
+        with pytest.raises(ValueError):
+            make_engine(small_dataset, backend="bloom", metric="cosine")
+
+    def test_usable_by_c2(self, small_dataset):
+        from repro import C2Params, cluster_and_conquer
+        from repro.baselines import brute_force_knn
+        from repro.graph import quality
+        from repro.similarity import ExactEngine
+
+        exact = brute_force_knn(ExactEngine(small_dataset), k=5).graph
+        engine = BloomEngine(small_dataset, n_bits=1024, n_hashes=1)
+        result = cluster_and_conquer(
+            engine, C2Params(k=5, n_buckets=32, n_hashes=6, split_threshold=60)
+        )
+        assert quality(result.graph, exact, small_dataset) > 0.7

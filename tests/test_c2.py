@@ -1,0 +1,126 @@
+"""Integration tests for Cluster-and-Conquer (repro.core)."""
+
+import numpy as np
+import pytest
+
+from repro import C2Params, cluster_and_conquer, make_engine, paper_params
+from repro.baselines import brute_force_knn
+from repro.graph import quality
+from repro.similarity import ExactEngine
+
+
+@pytest.fixture(scope="module")
+def exact(medium_dataset):
+    return brute_force_knn(ExactEngine(medium_dataset), k=10).graph
+
+
+def _params(**kw):
+    base = dict(k=10, n_buckets=32, n_hashes=6, split_threshold=100, seed=1)
+    base.update(kw)
+    return C2Params(**base)
+
+
+class TestC2EndToEnd:
+    def test_quality_close_to_exact(self, medium_dataset, exact):
+        engine = ExactEngine(medium_dataset)
+        result = cluster_and_conquer(engine, _params())
+        q = quality(result.graph, exact, medium_dataset)
+        assert q > 0.85
+
+    def test_goldfinger_backend_quality(self, medium_dataset, exact):
+        engine = make_engine(medium_dataset, n_bits=1024)
+        result = cluster_and_conquer(engine, _params())
+        q = quality(result.graph, exact, medium_dataset)
+        assert q > 0.8
+
+    def test_fewer_comparisons_than_bruteforce(self, medium_dataset):
+        n = medium_dataset.n_users
+        engine = ExactEngine(medium_dataset)
+        result = cluster_and_conquer(engine, _params(n_hashes=2))
+        assert result.comparisons < n * (n - 1) // 2
+
+    def test_deterministic_given_seed(self, medium_dataset):
+        a = cluster_and_conquer(ExactEngine(medium_dataset), _params())
+        b = cluster_and_conquer(ExactEngine(medium_dataset), _params())
+        assert np.array_equal(a.graph.heaps.ids, b.graph.heaps.ids)
+
+    def test_parallel_equals_serial(self, medium_dataset):
+        serial = cluster_and_conquer(ExactEngine(medium_dataset), _params(n_workers=1))
+        parallel = cluster_and_conquer(ExactEngine(medium_dataset), _params(n_workers=4))
+        assert np.array_equal(serial.graph.heaps.ids, parallel.graph.heaps.ids)
+
+    def test_extra_diagnostics(self, medium_dataset):
+        result = cluster_and_conquer(ExactEngine(medium_dataset), _params())
+        extra = result.extra
+        assert extra["n_clusters"] == len(extra["cluster_sizes"])
+        assert extra["time_clustering"] >= 0
+        assert extra["time_local_knn"] >= 0
+        assert extra["time_merge"] >= 0
+        assert extra["max_cluster_size"] == extra["cluster_sizes"][0]
+
+    def test_more_hashes_improve_quality(self, medium_dataset, exact):
+        """Fig. 6's t trade-off: more hash functions -> better quality."""
+        engine = ExactEngine(medium_dataset)
+        q1 = quality(
+            cluster_and_conquer(engine, _params(n_hashes=1)).graph, exact, medium_dataset
+        )
+        q8 = quality(
+            cluster_and_conquer(engine, _params(n_hashes=8)).graph, exact, medium_dataset
+        )
+        assert q8 > q1
+
+    def test_minhash_variant_runs(self, medium_dataset, exact):
+        engine = ExactEngine(medium_dataset)
+        result = cluster_and_conquer(
+            engine, _params(hash_family="minhash", split_threshold=None)
+        )
+        q = quality(result.graph, exact, medium_dataset)
+        assert q > 0.5
+        assert result.extra["n_splits"] == 0
+
+    def test_every_user_gets_neighbors(self, medium_dataset):
+        result = cluster_and_conquer(ExactEngine(medium_dataset), _params())
+        degrees = (result.graph.heaps.ids != -1).sum(axis=1)
+        assert degrees.min() >= 1
+
+    def test_neighbors_carry_true_engine_scores(self, medium_dataset):
+        engine = ExactEngine(medium_dataset)
+        result = cluster_and_conquer(engine, _params(n_hashes=2))
+        for u in (0, 13, 99):
+            ids, scores = result.graph.neighborhood(u)
+            for v, s in zip(ids, scores):
+                assert s == pytest.approx(engine._pair(u, int(v)))
+
+
+class TestC2Params:
+    def test_defaults_match_paper(self):
+        p = C2Params()
+        assert (p.k, p.n_buckets, p.n_hashes, p.split_threshold, p.rho) == (
+            30,
+            4096,
+            8,
+            2000,
+            5,
+        )
+
+    def test_paper_params_per_dataset(self):
+        assert paper_params("DBLP").n_hashes == 15
+        assert paper_params("GW").n_hashes == 15
+        assert paper_params("ml10M").n_hashes == 8
+        assert paper_params("ml20M").split_threshold == 4000
+        assert paper_params("AM").split_threshold == 2000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            C2Params(k=0)
+        with pytest.raises(ValueError):
+            C2Params(n_hashes=0)
+        with pytest.raises(ValueError):
+            C2Params(hash_family="simhash")
+        with pytest.raises(ValueError):
+            C2Params(split_threshold=1)
+
+    def test_with_(self):
+        p = C2Params().with_(n_hashes=3)
+        assert p.n_hashes == 3
+        assert p.k == 30

@@ -1,0 +1,87 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+from repro.data import Dataset, save_dataset
+
+
+class TestDatasetsCommand:
+    def test_prints_table(self, capsys):
+        assert main(["datasets", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ml1M", "ml10M", "AM", "DBLP", "GW"):
+            assert name in out
+
+
+class TestBuildCommand:
+    def test_c2_with_quality(self, capsys):
+        code = main(
+            ["build", "--dataset", "ml1M", "--scale", "0.02", "--k", "5", "--algo", "C2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Quality" in out
+        assert "C2" in out
+
+    def test_no_quality_flag(self, capsys):
+        code = main(
+            [
+                "build",
+                "--dataset",
+                "ml1M",
+                "--scale",
+                "0.02",
+                "--k",
+                "5",
+                "--algo",
+                "LSH",
+                "--no-quality",
+            ]
+        )
+        assert code == 0
+        assert "Quality" not in capsys.readouterr().out
+
+    def test_from_file(self, tmp_path, tiny_dataset, capsys):
+        path = tmp_path / "tiny.txt"
+        save_dataset(tiny_dataset, path)
+        code = main(
+            ["build", "--file", str(path), "--k", "2", "--algo", "BruteForce"]
+        )
+        assert code == 0
+        assert "BruteForce" in capsys.readouterr().out
+
+    def test_rejects_unknown_algo(self):
+        with pytest.raises(SystemExit):
+            main(["build", "--algo", "FAISS"])
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["build", "--dataset", "netflix"])
+
+
+class TestRecallCommand:
+    def test_runs(self, capsys):
+        code = main(
+            [
+                "recall",
+                "--dataset",
+                "ml1M",
+                "--scale",
+                "0.02",
+                "--k",
+                "5",
+                "--folds",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Brute force" in out
+        assert "Delta" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,155 @@
+"""Unit tests for repro.core.clustering (Step 1 + recursive splitting)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Cluster,
+    cluster_dataset,
+    make_hash_family,
+    make_minhash_family,
+    minhash_cluster_dataset,
+)
+from repro.core.clustering import split_cluster
+from repro.core.fastrandomhash import FastRandomHash
+from repro.core.hashing import GenerativeHash
+
+
+def _all_users_covered(clusters, config, n_users):
+    got = np.sort(np.concatenate([c.users for c in clusters if c.config == config]))
+    return np.array_equal(got, np.arange(n_users))
+
+
+class TestClusterDataset:
+    def test_each_config_partitions_users(self, small_dataset):
+        hashes = make_hash_family(small_dataset.n_items, 16, t=3, seed=0)
+        result = cluster_dataset(small_dataset, hashes, split_threshold=None)
+        assert result.n_configs == 3
+        for config in range(3):
+            assert _all_users_covered(result.clusters, config, small_dataset.n_users)
+
+    def test_cluster_eta_matches_members(self, small_dataset):
+        hashes = make_hash_family(small_dataset.n_items, 16, t=1, seed=0)
+        result = cluster_dataset(small_dataset, hashes, split_threshold=None)
+        frh = FastRandomHash(hashes[0])
+        user_hashes = frh.user_hashes(small_dataset)
+        for cluster in result.clusters:
+            assert np.all(user_hashes[cluster.users] == cluster.eta)
+
+    def test_no_splitting_when_threshold_none(self, small_dataset):
+        hashes = make_hash_family(small_dataset.n_items, 4, t=1, seed=0)
+        result = cluster_dataset(small_dataset, hashes, split_threshold=None)
+        assert result.n_splits == 0
+        assert len(result.clusters) <= 4
+
+    def test_splitting_caps_splittable_cluster_sizes(self, small_dataset):
+        hashes = make_hash_family(small_dataset.n_items, 4, t=2, seed=1)
+        threshold = 40
+        result = cluster_dataset(small_dataset, hashes, split_threshold=threshold)
+        for cluster in result.clusters:
+            # Residual (unsplittable) clusters may exceed the threshold;
+            # every splittable cluster must respect it.
+            if cluster.splittable:
+                assert cluster.size <= threshold
+
+    def test_splitting_preserves_partition(self, small_dataset):
+        hashes = make_hash_family(small_dataset.n_items, 4, t=2, seed=1)
+        result = cluster_dataset(small_dataset, hashes, split_threshold=30)
+        for config in range(2):
+            assert _all_users_covered(result.clusters, config, small_dataset.n_users)
+
+    def test_splitting_creates_more_clusters(self, small_dataset):
+        hashes = make_hash_family(small_dataset.n_items, 4, t=1, seed=1)
+        no_split = cluster_dataset(small_dataset, hashes, split_threshold=None)
+        split = cluster_dataset(small_dataset, hashes, split_threshold=30)
+        assert len(split.clusters) > len(no_split.clusters)
+        assert split.n_splits > 0
+
+    def test_sizes_descending(self, small_dataset):
+        hashes = make_hash_family(small_dataset.n_items, 8, t=2, seed=0)
+        result = cluster_dataset(small_dataset, hashes, split_threshold=None)
+        sizes = result.sizes()
+        assert np.all(np.diff(sizes) <= 0)
+
+    def test_config_clusters_filter(self, small_dataset):
+        hashes = make_hash_family(small_dataset.n_items, 8, t=2, seed=0)
+        result = cluster_dataset(small_dataset, hashes, split_threshold=None)
+        for c in result.config_clusters(1):
+            assert c.config == 1
+
+
+class TestSplitCluster:
+    @pytest.fixture()
+    def setup(self, small_dataset):
+        gen = GenerativeHash(small_dataset.n_items, 8, seed=2)
+        frh = FastRandomHash(gen)
+        hashes = frh.user_hashes(small_dataset)
+        # biggest cluster
+        values, counts = np.unique(hashes, return_counts=True)
+        eta = int(values[np.argmax(counts)])
+        users = np.flatnonzero(hashes == eta)
+        return frh, Cluster(users=users, config=0, eta=eta)
+
+    def test_split_preserves_users(self, small_dataset, setup):
+        frh, cluster = setup
+        pieces, _ = split_cluster(small_dataset, frh, cluster, threshold=10)
+        got = np.sort(np.concatenate([p.users for p in pieces]))
+        assert np.array_equal(got, np.sort(cluster.users))
+
+    def test_split_noop_below_threshold(self, small_dataset, setup):
+        frh, cluster = setup
+        pieces, n = split_cluster(small_dataset, frh, cluster, cluster.size)
+        assert pieces == [cluster]
+        assert n == 0
+
+    def test_residual_marked_unsplittable(self, small_dataset, setup):
+        frh, cluster = setup
+        pieces, _ = split_cluster(small_dataset, frh, cluster, threshold=10)
+        residuals = [p for p in pieces if p.eta == cluster.eta]
+        assert all(not p.splittable for p in residuals)
+
+    def test_children_have_higher_eta(self, small_dataset, setup):
+        frh, cluster = setup
+        pieces, _ = split_cluster(small_dataset, frh, cluster, threshold=10)
+        for p in pieces:
+            if p.eta != cluster.eta:
+                assert p.eta > cluster.eta
+
+    def test_no_singleton_splittable_children(self, small_dataset, setup):
+        """Singleton new clusters stay in the parent (paper rule), so a
+        splittable child always has >= 2 members. Residual clusters
+        (splittable=False) may shrink to any size during recursion."""
+        frh, cluster = setup
+        pieces, _ = split_cluster(small_dataset, frh, cluster, threshold=10)
+        for p in pieces:
+            if p.splittable and p.eta != cluster.eta:
+                assert p.size >= 2
+
+    def test_unsplittable_cluster_untouched(self, small_dataset, setup):
+        frh, cluster = setup
+        frozen = Cluster(users=cluster.users, config=0, eta=cluster.eta, splittable=False)
+        pieces, n = split_cluster(small_dataset, frh, frozen, threshold=2)
+        assert pieces == [frozen]
+        assert n == 0
+
+
+class TestMinHashClustering:
+    def test_partitions_users(self, small_dataset):
+        perms = make_minhash_family(small_dataset.n_items, t=2, seed=0)
+        result = minhash_cluster_dataset(small_dataset, perms)
+        for config in range(2):
+            assert _all_users_covered(result.clusters, config, small_dataset.n_users)
+
+    def test_more_fragmented_than_frh(self, small_dataset):
+        """MinHash's huge hash space fragments users into more, smaller
+        buckets than FRH with small b — the contrast of paper §II-E."""
+        perms = make_minhash_family(small_dataset.n_items, t=4, seed=0)
+        minhash = minhash_cluster_dataset(small_dataset, perms)
+        hashes = make_hash_family(small_dataset.n_items, 8, t=4, seed=0)
+        frh = cluster_dataset(small_dataset, hashes, split_threshold=None)
+        assert len(minhash.clusters) > len(frh.clusters)
+
+    def test_never_splittable(self, small_dataset):
+        perms = make_minhash_family(small_dataset.n_items, t=1, seed=0)
+        result = minhash_cluster_dataset(small_dataset, perms)
+        assert all(not c.splittable for c in result.clusters)

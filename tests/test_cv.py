@@ -1,0 +1,60 @@
+"""Unit tests for repro.data.cv (5-fold cross-validation)."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, k_fold_split
+
+
+@pytest.fixture(scope="module")
+def dataset() -> Dataset:
+    rng = np.random.default_rng(3)
+    profiles = [rng.choice(100, size=rng.integers(20, 40), replace=False) for _ in range(40)]
+    return Dataset.from_profiles(profiles, n_items=100)
+
+
+class TestKFoldSplit:
+    def test_fold_count(self, dataset):
+        folds = k_fold_split(dataset, n_folds=5, seed=0)
+        assert len(folds) == 5
+
+    def test_train_test_partition_per_user(self, dataset):
+        """train ∪ test == profile and train ∩ test == ∅, per user/fold."""
+        for fold in k_fold_split(dataset, n_folds=5, seed=1):
+            for u in range(dataset.n_users):
+                train = set(fold.train.profile(u).tolist())
+                test = set(fold.test_items(u).tolist())
+                assert train | test == dataset.profile_set(u)
+                assert not (train & test)
+
+    def test_every_rating_tested_exactly_once(self, dataset):
+        folds = k_fold_split(dataset, n_folds=5, seed=2)
+        for u in range(dataset.n_users):
+            tested = np.concatenate([f.test_items(u) for f in folds])
+            assert sorted(tested.tolist()) == dataset.profile(u).tolist()
+
+    def test_folds_balanced_within_user(self, dataset):
+        folds = k_fold_split(dataset, n_folds=5, seed=3)
+        for u in range(dataset.n_users):
+            sizes = [f.test_items(u).size for f in folds]
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_train_never_empty(self):
+        ds = Dataset.from_profiles([[0, 1], [2, 3, 4]], n_items=5)
+        for fold in k_fold_split(ds, n_folds=2, seed=0):
+            for u in range(ds.n_users):
+                assert fold.train.profile(u).size >= 1
+
+    def test_deterministic(self, dataset):
+        a = k_fold_split(dataset, n_folds=5, seed=9)
+        b = k_fold_split(dataset, n_folds=5, seed=9)
+        for fa, fb in zip(a, b):
+            assert np.array_equal(fa.test_indices, fb.test_indices)
+
+    def test_rejects_single_fold(self, dataset):
+        with pytest.raises(ValueError):
+            k_fold_split(dataset, n_folds=1)
+
+    def test_train_keeps_item_universe(self, dataset):
+        fold = k_fold_split(dataset, n_folds=4, seed=0)[0]
+        assert fold.train.n_items == dataset.n_items

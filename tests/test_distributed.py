@@ -1,0 +1,82 @@
+"""Unit tests for repro.distributed (map-reduce simulation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import cluster_dataset, make_hash_family
+from repro.core.clustering import Cluster, ClusteringResult
+from repro.distributed import simulate_mapreduce
+
+
+def _clustering(sizes):
+    clusters = []
+    start = 0
+    for i, s in enumerate(sizes):
+        clusters.append(
+            Cluster(users=np.arange(start, start + s), config=0, eta=i + 1)
+        )
+        start += s
+    return ClusteringResult(clusters=clusters, n_configs=1, n_splits=0)
+
+
+class TestSimulateMapReduce:
+    def test_single_worker_makespan_is_total(self):
+        cost = simulate_mapreduce(_clustering([10, 20, 30]), n_workers=1, k=5)
+        assert cost.map_makespan == pytest.approx(cost.total_map_work)
+        assert cost.speedup == pytest.approx(1.0)
+
+    def test_speedup_bounded_by_workers(self):
+        cost = simulate_mapreduce(_clustering([10] * 16), n_workers=4, k=5)
+        assert cost.speedup <= 4.0 + 1e-9
+        assert 0.0 < cost.efficiency <= 1.0
+
+    def test_equal_tasks_perfect_efficiency(self):
+        cost = simulate_mapreduce(_clustering([10] * 8), n_workers=8, k=5)
+        assert cost.efficiency == pytest.approx(1.0)
+
+    def test_giant_cluster_limits_speedup(self):
+        """The paper's Fig. 3 motivation, in map-reduce terms: one huge
+        cluster dominates the makespan however many workers exist."""
+        balanced = simulate_mapreduce(_clustering([25] * 4), n_workers=4, k=3)
+        skewed = simulate_mapreduce(_clustering([97, 1, 1, 1]), n_workers=4, k=3)
+        assert skewed.speedup < balanced.speedup
+
+    def test_cost_model_matches_alg2(self):
+        """Map cost uses brute force below rho*k^2 and Hyrec above."""
+        k, rho = 3, 5  # switch at 45
+        below = simulate_mapreduce(_clustering([40]), n_workers=1, k=k, rho=rho)
+        assert below.total_map_work == pytest.approx(40 * 39 / 2)
+        above = simulate_mapreduce(_clustering([50]), n_workers=1, k=k, rho=rho)
+        assert above.total_map_work == pytest.approx(rho * k * k * 50 / 2)
+
+    def test_shuffle_volume(self):
+        cost = simulate_mapreduce(_clustering([4, 3]), n_workers=2, k=10)
+        # each member emits min(size-1, k) records
+        assert cost.shuffle_records == 4 * 3 + 3 * 2
+
+    def test_reducer_load_counts_memberships(self):
+        # same users in two clusters -> two candidate sets each
+        c1 = Cluster(users=np.arange(5), config=0, eta=1)
+        c2 = Cluster(users=np.arange(5), config=1, eta=2)
+        clustering = ClusteringResult(clusters=[c1, c2], n_configs=2, n_splits=0)
+        cost = simulate_mapreduce(clustering, n_workers=2, k=10)
+        assert cost.max_reducer_load == 2 * 4  # min(5-1, 10) per membership
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_mapreduce(_clustering([5]), n_workers=0)
+
+    def test_empty_clustering(self):
+        cost = simulate_mapreduce(_clustering([]), n_workers=4)
+        assert cost.total_map_work == 0.0
+        assert cost.shuffle_records == 0
+
+    def test_splitting_improves_distributed_speedup(self, small_dataset):
+        """End-to-end: recursive splitting raises simulated map-reduce
+        speed-up on a real clustering (the §VIII scalability story)."""
+        hashes = make_hash_family(small_dataset.n_items, 8, t=2, seed=1)
+        raw = cluster_dataset(small_dataset, hashes, split_threshold=None)
+        split = cluster_dataset(small_dataset, hashes, split_threshold=30)
+        raw_cost = simulate_mapreduce(raw, n_workers=8, k=5)
+        split_cost = simulate_mapreduce(split, n_workers=8, k=5)
+        assert split_cost.map_makespan < raw_cost.map_makespan

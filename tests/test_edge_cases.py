@@ -1,0 +1,104 @@
+"""Edge-case and failure-injection tests across the pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import C2Params, cluster_and_conquer
+from repro.baselines import brute_force_knn, hyrec_knn, lsh_knn, nndescent_knn
+from repro.data import Dataset
+from repro.similarity import ExactEngine, GoldFingerEngine
+
+
+@pytest.fixture()
+def with_empty_profiles():
+    """Three normal users plus two with empty profiles."""
+    return Dataset.from_profiles(
+        [[0, 1, 2], [], [1, 2, 3], [], [0, 3]],
+        n_items=4,
+    )
+
+
+@pytest.fixture()
+def single_user():
+    return Dataset.from_profiles([[0, 1]], n_items=2)
+
+
+class TestEmptyProfiles:
+    def test_c2_handles_empty_profiles(self, with_empty_profiles):
+        engine = ExactEngine(with_empty_profiles)
+        result = cluster_and_conquer(
+            engine, C2Params(k=2, n_buckets=4, n_hashes=2, split_threshold=None)
+        )
+        # Users with items get neighbours; empty users get zero-score
+        # neighbours at most, and never crash the pipeline.
+        assert result.graph.n_users == 5
+
+    def test_brute_force_empty_profiles(self, with_empty_profiles):
+        result = brute_force_knn(ExactEngine(with_empty_profiles), k=2)
+        ids, scores = result.graph.neighborhood(0)
+        # similarity to an empty profile is 0, so real users rank first
+        assert scores[0] > 0
+
+    def test_goldfinger_empty_profiles(self, with_empty_profiles):
+        engine = GoldFingerEngine(with_empty_profiles, n_bits=64)
+        assert engine.pair(1, 3) == 0.0  # empty vs empty
+        assert engine.pair(0, 1) == 0.0  # non-empty vs empty
+
+
+class TestDegenerateSizes:
+    def test_single_user_c2(self, single_user):
+        result = cluster_and_conquer(
+            ExactEngine(single_user),
+            C2Params(k=3, n_buckets=4, n_hashes=2, split_threshold=None),
+        )
+        assert result.graph.neighbors(0).size == 0
+
+    def test_single_user_brute(self, single_user):
+        result = brute_force_knn(ExactEngine(single_user), k=3)
+        assert result.comparisons == 0
+
+    def test_k_exceeds_population(self):
+        ds = Dataset.from_profiles([[0, 1], [1, 2], [0, 2]], n_items=3)
+        for builder in (
+            lambda e: brute_force_knn(e, k=10),
+            lambda e: hyrec_knn(e, k=10, max_iterations=2),
+            lambda e: nndescent_knn(e, k=10, max_iterations=2),
+            lambda e: lsh_knn(e, k=10, n_hashes=2),
+        ):
+            result = builder(ExactEngine(ds))
+            for u in range(3):
+                nbrs = result.graph.neighbors(u)
+                assert nbrs.size <= 2
+                assert u not in nbrs
+
+    def test_two_users(self):
+        ds = Dataset.from_profiles([[0, 1], [1, 2]], n_items=3)
+        result = cluster_and_conquer(
+            ExactEngine(ds), C2Params(k=1, n_buckets=2, n_hashes=4, split_threshold=None)
+        )
+        # They share item 1 so some configuration co-hashes them w.h.p.
+        assert result.graph.neighbors(0).size <= 1
+
+    def test_identical_dataset_all_ones(self):
+        """All users identical: every similarity is 1, any k neighbours
+        are exact."""
+        ds = Dataset.from_profiles([[0, 1, 2]] * 6, n_items=3)
+        result = brute_force_knn(ExactEngine(ds), k=3)
+        for u in range(6):
+            _, scores = result.graph.neighborhood(u)
+            np.testing.assert_allclose(scores, 1.0)
+
+
+class TestEngineMisuse:
+    def test_pair_out_of_range_raises(self, tiny_dataset):
+        engine = ExactEngine(tiny_dataset)
+        with pytest.raises(IndexError):
+            engine.pair(0, 99)
+
+    def test_counts_unaffected_by_failures(self, tiny_dataset):
+        engine = ExactEngine(tiny_dataset)
+        with pytest.raises(IndexError):
+            engine.pair(0, 99)
+        # the failed call was still charged (count-then-compute), so
+        # callers relying on deltas see a consistent upper bound
+        assert engine.comparisons == 1

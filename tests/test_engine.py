@@ -1,0 +1,122 @@
+"""Unit tests for repro.similarity.engine (counting + backends)."""
+
+import numpy as np
+import pytest
+
+from repro.similarity import ExactEngine, GoldFingerEngine, make_engine
+from repro.similarity.jaccard import jaccard_pair
+
+
+class TestCounting:
+    def test_pair_counts_one(self, tiny_dataset):
+        engine = ExactEngine(tiny_dataset)
+        engine.pair(0, 1)
+        assert engine.comparisons == 1
+
+    def test_one_to_many_counts_len(self, tiny_dataset):
+        engine = ExactEngine(tiny_dataset)
+        engine.one_to_many(0, np.array([1, 2, 3]))
+        assert engine.comparisons == 3
+
+    def test_matrix_counts_pairs(self, tiny_dataset):
+        engine = ExactEngine(tiny_dataset)
+        engine.matrix(np.array([0, 1, 2, 3]))
+        assert engine.comparisons == 6  # C(4,2)
+
+    def test_block_counts_product(self, tiny_dataset):
+        engine = ExactEngine(tiny_dataset)
+        engine.block(np.array([0, 1]), np.array([2, 3, 4]))
+        assert engine.comparisons == 6
+
+    def test_block_uncounted(self, tiny_dataset):
+        engine = ExactEngine(tiny_dataset)
+        engine.block(np.array([0]), np.array([1]), counted=False)
+        assert engine.comparisons == 0
+
+    def test_explicit_charge(self, tiny_dataset):
+        engine = ExactEngine(tiny_dataset)
+        engine.charge(42)
+        assert engine.comparisons == 42
+
+    def test_reset(self, tiny_dataset):
+        engine = ExactEngine(tiny_dataset)
+        engine.pair(0, 1)
+        engine.reset_comparisons()
+        assert engine.comparisons == 0
+
+    def test_counts_accumulate(self, tiny_dataset):
+        engine = ExactEngine(tiny_dataset)
+        engine.pair(0, 1)
+        engine.one_to_many(0, np.array([1, 2]))
+        assert engine.comparisons == 3
+
+    def test_thread_safe_counting(self, small_dataset):
+        from concurrent.futures import ThreadPoolExecutor
+
+        engine = GoldFingerEngine(small_dataset, n_bits=256)
+        others = np.arange(10)
+
+        def work(_):
+            for _ in range(50):
+                engine.one_to_many(0, others)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(work, range(8)))
+        assert engine.comparisons == 8 * 50 * 10
+
+
+class TestExactEngine:
+    def test_pair_matches_jaccard(self, tiny_dataset):
+        engine = ExactEngine(tiny_dataset)
+        assert engine.pair(0, 1) == pytest.approx(
+            jaccard_pair(tiny_dataset.profile(0), tiny_dataset.profile(1))
+        )
+
+    def test_one_to_many_matches_block(self, tiny_dataset):
+        engine = ExactEngine(tiny_dataset)
+        others = np.array([1, 2, 3])
+        row = engine.one_to_many(0, others)
+        blk = engine.block(np.array([0]), others)
+        np.testing.assert_allclose(row, blk[0])
+
+    def test_cosine_metric(self, tiny_dataset):
+        engine = ExactEngine(tiny_dataset, metric="cosine")
+        assert engine.pair(0, 2) == pytest.approx(1.0)
+
+    def test_rejects_unknown_metric(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            ExactEngine(tiny_dataset, metric="euclid")
+
+
+class TestGoldFingerEngine:
+    def test_matches_goldfinger(self, small_dataset):
+        engine = GoldFingerEngine(small_dataset, n_bits=512, seed=3)
+        assert engine.pair(0, 1) == pytest.approx(
+            engine.goldfinger.estimate_pair(0, 1)
+        )
+
+    def test_matrix_consistent_with_block(self, small_dataset):
+        engine = GoldFingerEngine(small_dataset, n_bits=256)
+        users = np.arange(15)
+        np.testing.assert_allclose(
+            engine.matrix(users), engine.block(users, users)
+        )
+
+    def test_n_bits_property(self, small_dataset):
+        assert GoldFingerEngine(small_dataset, n_bits=256).n_bits == 256
+
+
+class TestMakeEngine:
+    def test_default_is_goldfinger(self, tiny_dataset):
+        assert isinstance(make_engine(tiny_dataset), GoldFingerEngine)
+
+    def test_exact_backend(self, tiny_dataset):
+        assert isinstance(make_engine(tiny_dataset, backend="exact"), ExactEngine)
+
+    def test_goldfinger_rejects_cosine(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            make_engine(tiny_dataset, metric="cosine")
+
+    def test_unknown_backend(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            make_engine(tiny_dataset, backend="magic")

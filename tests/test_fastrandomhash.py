@@ -1,0 +1,103 @@
+"""Unit tests for repro.core.fastrandomhash."""
+
+import numpy as np
+
+from repro.core import FastRandomHash, GenerativeHash, UNDEFINED
+from repro.data import Dataset
+
+
+class _FixedHash:
+    """A hand-written generative hash for deterministic tests."""
+
+    def __init__(self, table: dict[int, int], n_buckets: int) -> None:
+        self.n_buckets = n_buckets
+        self._table = table
+        self.table = np.array(
+            [table.get(i, n_buckets) for i in range(max(table) + 1)], dtype=np.int32
+        )
+
+    def __call__(self, items: np.ndarray) -> np.ndarray:
+        return self.table[items]
+
+
+class TestPaperExample:
+    """The worked example of §II-D: h(i1..i5) = 2,3,2,1,3 with b=3."""
+
+    def setup_method(self):
+        self.h = _FixedHash({0: 2, 1: 3, 2: 2, 3: 1, 4: 3}, n_buckets=3)
+        # P_u = {i1,i2,i3} -> items 0,1,2 ; P_v = {i3,i4,i5} -> items 2,3,4
+        self.dataset = Dataset.from_profiles([[0, 1, 2], [2, 3, 4]], n_items=5)
+        self.frh = FastRandomHash(self.h)
+
+    def test_hash_of_u_is_2(self):
+        hashes = self.frh.user_hashes(self.dataset)
+        assert hashes[0] == 2  # min{2, 3, 2}
+
+    def test_hash_of_v_is_1(self):
+        hashes = self.frh.user_hashes(self.dataset)
+        assert hashes[1] == 1  # min{2, 1, 3}
+
+    def test_second_configuration_collides(self):
+        """h2(i1..i5) = 1,3,3,2,1: both users hash to 1 (paper §II-D)."""
+        h2 = _FixedHash({0: 1, 1: 3, 2: 3, 3: 2, 4: 1}, n_buckets=3)
+        hashes = FastRandomHash(h2).user_hashes(self.dataset)
+        assert hashes[0] == 1 and hashes[1] == 1
+
+
+class TestUserHashes:
+    def test_empty_profile_undefined(self):
+        ds = Dataset.from_profiles([[], [0]], n_items=2)
+        frh = FastRandomHash(GenerativeHash(2, 4, seed=0))
+        hashes = frh.user_hashes(ds)
+        assert hashes[0] == UNDEFINED
+        assert hashes[1] != UNDEFINED
+
+    def test_is_minimum_of_item_hashes(self, small_dataset):
+        gen = GenerativeHash(small_dataset.n_items, 32, seed=4)
+        frh = FastRandomHash(gen)
+        hashes = frh.user_hashes(small_dataset)
+        for u in range(0, small_dataset.n_users, 17):
+            expected = int(gen(small_dataset.profile(u)).min())
+            assert hashes[u] == expected
+
+    def test_range(self, small_dataset):
+        frh = FastRandomHash(GenerativeHash(small_dataset.n_items, 8, seed=1))
+        hashes = frh.user_hashes(small_dataset)
+        assert hashes.min() >= 1
+        assert hashes.max() <= 8
+
+
+class TestExcluding:
+    def test_excludes_up_to_eta(self):
+        h = _FixedHash({0: 2, 1: 3, 2: 2, 3: 1, 4: 3}, n_buckets=3)
+        ds = Dataset.from_profiles([[0, 1, 2], [2, 3, 4]], n_items=5)
+        frh = FastRandomHash(h)
+        # Exclude hashes <= 2: u (hashes 2,3,2) -> min{3} = 3
+        out = frh.user_hashes_excluding(ds, np.array([0]), eta=2)
+        assert out[0] == 3
+
+    def test_undefined_when_all_excluded(self):
+        h = _FixedHash({0: 1, 1: 1}, n_buckets=3)
+        ds = Dataset.from_profiles([[0, 1]], n_items=2)
+        frh = FastRandomHash(h)
+        out = frh.user_hashes_excluding(ds, np.array([0]), eta=1)
+        assert out[0] == UNDEFINED
+
+    def test_single_item_user_undefined(self):
+        """Paper: users with one item have H\\eta undefined (their only
+        hash value is the cluster's own eta)."""
+        h = _FixedHash({0: 2}, n_buckets=3)
+        ds = Dataset.from_profiles([[0]], n_items=1)
+        out = FastRandomHash(h).user_hashes_excluding(ds, np.array([0]), eta=2)
+        assert out[0] == UNDEFINED
+
+    def test_matches_bruteforce(self, small_dataset):
+        gen = GenerativeHash(small_dataset.n_items, 16, seed=9)
+        frh = FastRandomHash(gen)
+        users = np.arange(0, small_dataset.n_users, 13)
+        out = frh.user_hashes_excluding(small_dataset, users, eta=3)
+        for pos, u in enumerate(users):
+            vals = gen(small_dataset.profile(int(u)))
+            above = vals[vals > 3]
+            expected = int(above.min()) if above.size else UNDEFINED
+            assert out[pos] == expected

@@ -1,0 +1,94 @@
+"""Unit tests for repro.similarity.goldfinger."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+from repro.similarity import GoldFinger, jaccard_matrix
+
+
+class TestConstruction:
+    def test_rejects_bad_width(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            GoldFinger(tiny_dataset, n_bits=100)
+        with pytest.raises(ValueError):
+            GoldFinger(tiny_dataset, n_bits=0)
+
+    def test_word_layout(self, tiny_dataset):
+        gf = GoldFinger(tiny_dataset, n_bits=256)
+        assert gf.n_words == 4
+        assert gf.fingerprints.shape == (6, 4)
+        assert gf.fingerprints.dtype == np.uint64
+
+    def test_fingerprint_size_bounded_by_profile(self, tiny_dataset):
+        gf = GoldFinger(tiny_dataset, n_bits=1024)
+        for u in range(tiny_dataset.n_users):
+            assert 0 < gf.fingerprint_size(u) <= tiny_dataset.profile_sizes[u]
+
+    def test_empty_profile_all_zero(self):
+        ds = Dataset.from_profiles([[], [1]], n_items=3)
+        gf = GoldFinger(ds, n_bits=64)
+        assert gf.fingerprint_size(0) == 0
+
+    def test_deterministic_in_seed(self, tiny_dataset):
+        a = GoldFinger(tiny_dataset, n_bits=256, seed=5)
+        b = GoldFinger(tiny_dataset, n_bits=256, seed=5)
+        assert np.array_equal(a.fingerprints, b.fingerprints)
+
+    def test_different_seeds_differ(self, small_dataset):
+        a = GoldFinger(small_dataset, n_bits=256, seed=1)
+        b = GoldFinger(small_dataset, n_bits=256, seed=2)
+        assert not np.array_equal(a.fingerprints, b.fingerprints)
+
+
+class TestEstimates:
+    def test_identical_profiles_estimate_one(self, tiny_dataset):
+        gf = GoldFinger(tiny_dataset, n_bits=512)
+        assert gf.estimate_pair(0, 2) == 1.0  # u0 and u2 identical
+
+    def test_disjoint_profiles_estimate_near_zero(self, tiny_dataset):
+        # Wide fingerprints make bit collisions for disjoint sets unlikely.
+        gf = GoldFinger(tiny_dataset, n_bits=8192)
+        assert gf.estimate_pair(0, 3) <= 0.1
+
+    def test_one_to_many_matches_pair(self, small_dataset):
+        gf = GoldFinger(small_dataset, n_bits=512)
+        others = np.arange(1, 40)
+        got = gf.estimate_one_to_many(0, others)
+        want = [gf.estimate_pair(0, int(v)) for v in others]
+        np.testing.assert_allclose(got, want)
+
+    def test_matrix_matches_pair(self, small_dataset):
+        gf = GoldFinger(small_dataset, n_bits=512)
+        users = np.arange(20)
+        m = gf.estimate_matrix(users)
+        for i in range(20):
+            for j in range(20):
+                assert m[i, j] == pytest.approx(gf.estimate_pair(i, j))
+
+    def test_block_matches_matrix(self, small_dataset):
+        gf = GoldFinger(small_dataset, n_bits=512)
+        us, vs = np.arange(10), np.arange(5, 25)
+        blk = gf.estimate_block(us, vs)
+        m = gf.estimate_matrix(np.arange(25))
+        np.testing.assert_allclose(blk, m[np.ix_(us, vs)])
+
+    def test_estimate_accuracy_with_wide_fingerprints(self, small_dataset):
+        """1024-bit fingerprints on ~35-item profiles: estimates should
+        track exact Jaccard closely (paper reports negligible loss)."""
+        gf = GoldFinger(small_dataset, n_bits=1024)
+        users = np.arange(60)
+        est = gf.estimate_matrix(users)
+        exact = jaccard_matrix(small_dataset, users)
+        err = np.abs(est - exact)
+        assert err.mean() < 0.05
+        assert np.quantile(err, 0.95) < 0.15
+
+    def test_wider_fingerprints_more_accurate(self, small_dataset):
+        users = np.arange(60)
+        exact = jaccard_matrix(small_dataset, users)
+        errors = {}
+        for bits in (64, 1024):
+            gf = GoldFinger(small_dataset, n_bits=bits)
+            errors[bits] = np.abs(gf.estimate_matrix(users) - exact).mean()
+        assert errors[1024] < errors[64]

@@ -1,0 +1,90 @@
+"""Unit tests for repro.core.hashing."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GenerativeHash,
+    MinHashPermutation,
+    make_hash_family,
+    make_minhash_family,
+    splitmix64,
+    splitmix64_array,
+)
+
+
+class TestSplitmix:
+    def test_deterministic(self):
+        assert splitmix64(123, 7) == splitmix64(123, 7)
+
+    def test_seed_changes_output(self):
+        assert splitmix64(123, 7) != splitmix64(123, 8)
+
+    def test_array_matches_scalar(self):
+        vals = np.array([0, 1, 99], dtype=np.uint64)
+        out = splitmix64_array(vals, 5)
+        for v, o in zip(vals, out):
+            assert splitmix64(int(v), 5) == int(o)
+
+    def test_uniformity_rough(self):
+        """Hash of 0..n-1 should fill buckets roughly evenly."""
+        out = splitmix64_array(np.arange(100_000, dtype=np.uint64), 3)
+        buckets = np.bincount((out % np.uint64(16)).astype(int), minlength=16)
+        assert buckets.min() > 0.8 * buckets.mean()
+        assert buckets.max() < 1.2 * buckets.mean()
+
+
+class TestGenerativeHash:
+    def test_range(self):
+        h = GenerativeHash(n_items=1000, n_buckets=7, seed=1)
+        vals = h(np.arange(1000))
+        assert vals.min() >= 1
+        assert vals.max() <= 7
+
+    def test_deterministic(self):
+        a = GenerativeHash(100, 8, seed=3)(np.arange(100))
+        b = GenerativeHash(100, 8, seed=3)(np.arange(100))
+        assert np.array_equal(a, b)
+
+    def test_rejects_zero_buckets(self):
+        with pytest.raises(ValueError):
+            GenerativeHash(10, 0, seed=0)
+
+    def test_single_bucket(self):
+        h = GenerativeHash(10, 1, seed=0)
+        assert np.all(h(np.arange(10)) == 1)
+
+    def test_family_independent(self):
+        fam = make_hash_family(500, 16, t=4, seed=0)
+        assert len(fam) == 4
+        tables = [f.table for f in fam]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.array_equal(tables[i], tables[j])
+
+    def test_family_deterministic(self):
+        a = make_hash_family(100, 8, t=3, seed=5)
+        b = make_hash_family(100, 8, t=3, seed=5)
+        for fa, fb in zip(a, b):
+            assert np.array_equal(fa.table, fb.table)
+
+    def test_roughly_uniform_over_buckets(self):
+        h = GenerativeHash(50_000, 10, seed=2)
+        counts = np.bincount(h(np.arange(50_000)), minlength=11)[1:]
+        assert counts.min() > 0.85 * counts.mean()
+
+
+class TestMinHashPermutation:
+    def test_is_permutation(self):
+        p = MinHashPermutation(100, seed=1)
+        assert sorted(p.table.tolist()) == list(range(100))
+
+    def test_lookup(self):
+        p = MinHashPermutation(10, seed=2)
+        items = np.array([3, 7])
+        assert np.array_equal(p(items), p.table[items])
+
+    def test_family(self):
+        fam = make_minhash_family(50, t=3, seed=1)
+        assert len(fam) == 3
+        assert not np.array_equal(fam[0].table, fam[1].table)

@@ -1,0 +1,141 @@
+"""Unit tests for repro.graph.heap (bounded neighbour lists)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import EMPTY, NeighborHeaps
+
+
+class TestPush:
+    def test_fills_empty_slots(self):
+        h = NeighborHeaps(2, 3)
+        assert h.push(0, 1, 0.5)
+        assert h.size(0) == 1
+        assert h.contains(0, 1)
+
+    def test_rejects_self_loop(self):
+        h = NeighborHeaps(2, 3)
+        assert not h.push(0, 0, 0.9)
+        assert h.size(0) == 0
+
+    def test_duplicate_never_doubles(self):
+        h = NeighborHeaps(2, 3)
+        h.push(0, 1, 0.5)
+        h.push(0, 1, 0.9)
+        assert h.size(0) == 1
+
+    def test_duplicate_keeps_max_score(self):
+        h = NeighborHeaps(2, 3)
+        h.push(0, 1, 0.5)
+        assert h.push(0, 1, 0.9)  # raises the stored score
+        assert not h.push(0, 1, 0.7)  # lower re-offer is a no-op
+        _, scores = h.items(0)
+        assert scores[0] == pytest.approx(0.9)
+
+    def test_evicts_minimum_when_full(self):
+        h = NeighborHeaps(1, 2)
+        h.push(0, 1, 0.3)
+        h.push(0, 2, 0.5)
+        assert h.push(0, 3, 0.4)  # evicts 1 (score 0.3)
+        assert not h.contains(0, 1)
+        assert h.contains(0, 2)
+        assert h.contains(0, 3)
+
+    def test_rejects_worse_than_minimum_when_full(self):
+        h = NeighborHeaps(1, 2)
+        h.push(0, 1, 0.3)
+        h.push(0, 2, 0.5)
+        assert not h.push(0, 3, 0.2)
+
+    def test_rejects_equal_to_minimum_when_full(self):
+        h = NeighborHeaps(1, 2)
+        h.push(0, 1, 0.3)
+        h.push(0, 2, 0.5)
+        assert not h.push(0, 3, 0.3)
+
+    def test_min_score(self):
+        h = NeighborHeaps(1, 2)
+        assert h.min_score(0) == -np.inf
+        h.push(0, 1, 0.3)
+        h.push(0, 2, 0.5)
+        assert h.min_score(0) == pytest.approx(0.3)
+
+    def test_rejects_k_zero(self):
+        with pytest.raises(ValueError):
+            NeighborHeaps(1, 0)
+
+
+class TestItems:
+    def test_sorted_best_first(self):
+        h = NeighborHeaps(1, 4)
+        h.push(0, 1, 0.2)
+        h.push(0, 2, 0.9)
+        h.push(0, 3, 0.5)
+        ids, scores = h.items(0)
+        assert list(ids) == [2, 3, 1]
+        assert list(scores) == pytest.approx([0.9, 0.5, 0.2])
+
+    def test_neighbors_excludes_empty(self):
+        h = NeighborHeaps(1, 4)
+        h.push(0, 5, 0.1)
+        assert set(h.neighbors(0)) == {5}
+
+
+class TestPushBatch:
+    def test_basic_insert(self):
+        h = NeighborHeaps(1, 3)
+        inserted = h.push_batch(0, np.array([1, 2]), np.array([0.5, 0.7]))
+        assert set(inserted.tolist()) == {1, 2}
+        assert h.size(0) == 2
+
+    def test_keeps_top_k(self):
+        h = NeighborHeaps(1, 2)
+        h.push_batch(0, np.array([1, 2, 3, 4]), np.array([0.1, 0.9, 0.5, 0.3]))
+        assert set(h.neighbors(0).tolist()) == {2, 3}
+
+    def test_merges_with_existing(self):
+        h = NeighborHeaps(1, 2)
+        h.push(0, 1, 0.8)
+        inserted = h.push_batch(0, np.array([2, 3]), np.array([0.9, 0.1]))
+        assert set(inserted.tolist()) == {2}
+        assert set(h.neighbors(0).tolist()) == {1, 2}
+
+    def test_filters_self(self):
+        h = NeighborHeaps(1, 3)
+        inserted = h.push_batch(0, np.array([0, 1]), np.array([1.0, 0.5]))
+        assert set(inserted.tolist()) == {1}
+        assert not h.contains(0, 0)
+
+    def test_duplicate_candidates_keep_max(self):
+        h = NeighborHeaps(1, 3)
+        h.push_batch(0, np.array([1, 1, 1]), np.array([0.2, 0.9, 0.4]))
+        ids, scores = h.items(0)
+        assert list(ids) == [1]
+        assert scores[0] == pytest.approx(0.9)
+
+    def test_empty_batch(self):
+        h = NeighborHeaps(1, 3)
+        assert h.push_batch(0, np.array([]), np.array([])).size == 0
+
+    def test_reoffering_same_batch_is_stable(self):
+        """Re-offering identical candidates must produce zero insertions
+        even with score ties (no churn -> greedy delta-termination works)."""
+        h = NeighborHeaps(1, 3)
+        cands = np.array([1, 2, 3, 4, 5])
+        scores = np.array([0.5, 0.5, 0.5, 0.5, 0.5])
+        h.push_batch(0, cands, scores)
+        again = h.push_batch(0, cands, scores)
+        assert again.size == 0
+
+    def test_matches_scalar_pushes(self, rng):
+        """Batch insert must equal the offline top-k of everything seen."""
+        h_batch = NeighborHeaps(1, 5)
+        cands = rng.permutation(40)[:20] + 1
+        scores = rng.random(20)
+        h_batch.push_batch(0, cands, scores)
+        # offline reference: top-5 by (-score, id)
+        order = np.lexsort((cands, -scores))[:5]
+        assert set(h_batch.neighbors(0).tolist()) == set(cands[order].tolist())
+
+    def test_empty_marker_value(self):
+        assert EMPTY == -1

@@ -1,0 +1,69 @@
+"""Unit tests for repro.baselines.kmeans (§VII [41] comparison point)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import brute_force_knn, kmeans_cluster_dataset, kmeans_knn
+from repro.graph import quality
+from repro.similarity import ExactEngine
+
+
+class TestKMeansClustering:
+    def test_partitions_users(self, small_dataset):
+        engine = ExactEngine(small_dataset)
+        result = kmeans_cluster_dataset(engine, n_clusters=8, seed=1)
+        members = np.sort(np.concatenate([c.users for c in result.clusters]))
+        assert np.array_equal(members, np.arange(small_dataset.n_users))
+
+    def test_charges_assignment_similarities(self, small_dataset):
+        engine = ExactEngine(small_dataset)
+        kmeans_cluster_dataset(engine, n_clusters=8, n_iterations=3, seed=1)
+        assert engine.comparisons == small_dataset.n_users * 8 * 3
+
+    def test_groups_similar_users(self, small_dataset):
+        """Users sharing a cluster must be more similar on average than
+        random pairs (k-means finds the planted communities)."""
+        from repro.similarity import jaccard_matrix
+
+        engine = ExactEngine(small_dataset)
+        result = kmeans_cluster_dataset(engine, n_clusters=10, n_iterations=10, seed=0)
+        sims = jaccard_matrix(small_dataset)
+        np.fill_diagonal(sims, np.nan)
+        within = []
+        for c in result.clusters:
+            if c.size >= 2:
+                block = sims[np.ix_(c.users, c.users)]
+                within.append(np.nanmean(block))
+        assert np.mean(within) > 1.25 * np.nanmean(sims)
+
+    def test_cluster_count_capped_by_users(self, tiny_dataset):
+        engine = ExactEngine(tiny_dataset)
+        result = kmeans_cluster_dataset(engine, n_clusters=100, seed=0)
+        assert len(result.clusters) <= tiny_dataset.n_users
+
+    def test_validation(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            kmeans_cluster_dataset(ExactEngine(tiny_dataset), n_clusters=0)
+
+    def test_deterministic(self, small_dataset):
+        a = kmeans_cluster_dataset(ExactEngine(small_dataset), 6, seed=3)
+        b = kmeans_cluster_dataset(ExactEngine(small_dataset), 6, seed=3)
+        for ca, cb in zip(a.clusters, b.clusters):
+            assert np.array_equal(ca.users, cb.users)
+
+
+class TestKMeansKNN:
+    def test_quality_reasonable(self, medium_dataset):
+        exact = brute_force_knn(ExactEngine(medium_dataset), k=10).graph
+        result = kmeans_knn(ExactEngine(medium_dataset), k=10, n_clusters=12, seed=1)
+        assert quality(result.graph, exact, medium_dataset) > 0.75
+
+    def test_comparisons_include_clustering(self, medium_dataset):
+        result = kmeans_knn(ExactEngine(medium_dataset), k=10, n_clusters=12, seed=1)
+        assert result.comparisons >= result.extra["clustering_comparisons"]
+
+    def test_single_membership(self, small_dataset):
+        """[41]'s design: each user in exactly one cluster (no FRH-style
+        redundancy), so cluster sizes sum to n."""
+        result = kmeans_knn(ExactEngine(small_dataset), k=5, n_clusters=6, seed=1)
+        assert result.extra["cluster_sizes"].sum() == small_dataset.n_users

@@ -1,0 +1,129 @@
+"""Unit tests for repro.core.local_knn (Alg. 2: hybrid local solver)."""
+
+import numpy as np
+import pytest
+
+from repro.core import brute_force_local, hyrec_local, solve_cluster
+from repro.graph.heap import EMPTY
+from repro.similarity import ExactEngine, jaccard_matrix
+
+
+@pytest.fixture(scope="module")
+def engine(small_dataset):
+    return ExactEngine(small_dataset)
+
+
+def _reference_local_knn(dataset, users, k):
+    """Offline exact local KNN for verification."""
+    sims = jaccard_matrix(dataset, users)
+    np.fill_diagonal(sims, -np.inf)
+    out = {}
+    for pos, u in enumerate(users):
+        order = np.lexsort((users, -sims[pos]))[: min(k, users.size - 1)]
+        out[int(u)] = {int(users[j]) for j in order if sims[pos][j] > -np.inf}
+    return out, sims
+
+
+class TestBruteForceLocal:
+    def test_matches_reference(self, small_dataset, engine):
+        users = np.arange(0, 60)
+        partial = brute_force_local(engine, users, k=5)
+        ref, sims = _reference_local_knn(small_dataset, users, 5)
+        for pos, u in enumerate(users):
+            ids, scores = partial.neighborhood(pos)
+            # scores must equal the true similarity of each edge
+            for v, s in zip(ids, scores):
+                assert s == pytest.approx(sims[pos][np.where(users == v)[0][0]])
+            # neighbour set must be a valid top-k (allow similarity ties)
+            got_min = scores.min() if scores.size else 0
+            ref_scores = sorted(
+                (sims[pos][j] for j in range(users.size) if j != pos), reverse=True
+            )[:5]
+            assert got_min == pytest.approx(min(ref_scores))
+
+    def test_neighbors_within_cluster(self, engine):
+        users = np.arange(10, 40)
+        partial = brute_force_local(engine, users, k=4)
+        for pos in range(users.size):
+            ids, _ = partial.neighborhood(pos)
+            assert np.all(np.isin(ids, users))
+
+    def test_charges_pair_count(self, small_dataset):
+        engine = ExactEngine(small_dataset)
+        users = np.arange(25)
+        brute_force_local(engine, users, k=3)
+        assert engine.comparisons == 25 * 24 // 2
+
+    def test_tiny_cluster(self, engine):
+        partial = brute_force_local(engine, np.array([3]), k=5)
+        ids, _ = partial.neighborhood(0)
+        assert ids.size == 0
+
+    def test_pair_cluster(self, engine):
+        partial = brute_force_local(engine, np.array([3, 4]), k=5)
+        ids, _ = partial.neighborhood(0)
+        assert list(ids) == [4]
+
+    def test_blockwise_consistency(self, engine):
+        """Cluster larger than the row block must give identical output."""
+        import repro.core.local_knn as mod
+
+        users = np.arange(80)
+        normal = brute_force_local(engine, users, k=4)
+        old = mod._ROW_BLOCK
+        try:
+            mod._ROW_BLOCK = 16
+            blocked = brute_force_local(engine, users, k=4)
+        finally:
+            mod._ROW_BLOCK = old
+        assert np.array_equal(normal.ids, blocked.ids)
+
+
+class TestHyrecLocal:
+    def test_high_quality_vs_bruteforce(self, small_dataset, engine):
+        users = np.arange(small_dataset.n_users)
+        exact = brute_force_local(engine, users, k=10)
+        greedy = hyrec_local(engine, users, k=10, seed=1)
+        # compare average edge score
+        exact_avg = exact.scores[exact.ids != EMPTY].mean()
+        greedy_avg = greedy.scores[greedy.ids != EMPTY].mean()
+        assert greedy_avg >= 0.9 * exact_avg
+
+    def test_neighbors_within_cluster(self, engine):
+        users = np.arange(50, 120)
+        partial = hyrec_local(engine, users, k=5, seed=0)
+        for pos in range(users.size):
+            ids, _ = partial.neighborhood(pos)
+            assert np.all(np.isin(ids, users))
+
+    def test_global_ids_returned(self, engine):
+        users = np.arange(200, 260)
+        partial = hyrec_local(engine, users, k=5, seed=0)
+        ids = partial.ids[partial.ids != EMPTY]
+        assert ids.min() >= 200
+
+
+class TestSolveCluster:
+    def test_small_cluster_uses_bruteforce_cost(self, small_dataset):
+        """|C| < rho*k^2 -> brute force: exactly C(|C|,2) comparisons."""
+        engine = ExactEngine(small_dataset)
+        users = np.arange(40)
+        solve_cluster(engine, users, k=3, rho=5)  # 40 < 5*9=45
+        assert engine.comparisons == 40 * 39 // 2
+
+    def test_large_cluster_uses_hyrec(self, small_dataset):
+        """|C| >= rho*k^2 -> Hyrec: far fewer than C(|C|,2) comparisons
+        ... but with random init of k per user at least n*k."""
+        engine = ExactEngine(small_dataset)
+        users = np.arange(small_dataset.n_users)  # 300 >= 5*4=20
+        solve_cluster(engine, users, k=2, rho=5)
+        assert engine.comparisons < 300 * 299 // 2
+
+    def test_switch_threshold_exact(self, small_dataset):
+        """At |C| exactly rho*k^2, Hyrec is chosen (paper: strict <)."""
+        engine = ExactEngine(small_dataset)
+        k, rho = 3, 5
+        users = np.arange(rho * k * k)  # 45 users
+        solve_cluster(engine, users, k=k, rho=rho)
+        # Hyrec cost differs from the brute-force pair count
+        assert engine.comparisons != 45 * 44 // 2

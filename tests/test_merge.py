@@ -1,0 +1,74 @@
+"""Unit tests for repro.core.merge (Alg. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import merge_partials
+from repro.core.local_knn import PartialKNN
+from repro.graph.heap import EMPTY
+
+
+def _partial(users, edges, k):
+    """Build a PartialKNN from {user: [(nbr, score), ...]}."""
+    users = np.asarray(users, dtype=np.int64)
+    ids = np.full((users.size, k), EMPTY, dtype=np.int32)
+    scores = np.full((users.size, k), -np.inf, dtype=np.float64)
+    for pos, u in enumerate(users):
+        for slot, (v, s) in enumerate(edges.get(int(u), [])):
+            ids[pos, slot] = v
+            scores[pos, slot] = s
+    return PartialKNN(users, ids, scores)
+
+
+class TestMergePartials:
+    def test_single_partial_roundtrip(self):
+        p = _partial([0, 1], {0: [(1, 0.5)], 1: [(0, 0.5)]}, k=2)
+        graph = merge_partials([p], n_users=3, k=2)
+        assert graph.to_dict()[0] == [(1, 0.5)]
+        assert graph.to_dict()[2] == []
+
+    def test_keeps_best_k_across_partials(self):
+        p1 = _partial([0], {0: [(1, 0.2), (2, 0.4)]}, k=2)
+        p2 = _partial([0], {0: [(3, 0.9), (4, 0.1)]}, k=2)
+        graph = merge_partials([p1, p2], n_users=5, k=2)
+        assert {v for v, _ in graph.to_dict()[0]} == {3, 2}
+
+    def test_duplicate_edges_not_doubled(self):
+        p1 = _partial([0], {0: [(1, 0.5)]}, k=3)
+        p2 = _partial([0], {0: [(1, 0.5), (2, 0.3)]}, k=3)
+        graph = merge_partials([p1, p2], n_users=3, k=3)
+        assert graph.to_dict()[0] == [(1, 0.5), (2, 0.3)]
+
+    def test_merge_equals_offline_topk(self, rng):
+        """Merging many partials == offline top-k over the union of all
+        candidate edges (the paper's t*k -> k reduction)."""
+        n, k, t = 30, 4, 5
+        partials = []
+        edges_by_user: dict[int, dict[int, float]] = {u: {} for u in range(n)}
+        for _ in range(t):
+            edges = {}
+            for u in range(n):
+                cands = rng.choice(n - 1, size=k, replace=False)
+                cands[cands >= u] += 1
+                pairs = []
+                for v in cands:
+                    s = round(float(rng.random()), 3)
+                    # similarities are deterministic per pair: keep one value
+                    s = edges_by_user[u].setdefault(int(v), s)
+                    pairs.append((int(v), s))
+                edges[u] = pairs
+            partials.append(_partial(np.arange(n), edges, k))
+
+        graph = merge_partials(partials, n_users=n, k=k)
+        for u in range(n):
+            union = edges_by_user[u]
+            ids = np.array(sorted(union))
+            scores = np.array([union[int(v)] for v in ids])
+            order = np.lexsort((ids, -scores))[:k]
+            expected = {int(ids[j]) for j in order}
+            got = set(graph.neighbors(u).tolist())
+            assert got == expected, f"user {u}"
+
+    def test_empty_partials(self):
+        graph = merge_partials([], n_users=4, k=2)
+        assert graph.edge_count() == 0

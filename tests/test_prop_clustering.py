@@ -1,0 +1,116 @@
+"""Property-based tests for FastRandomHash clustering invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FastRandomHash, GenerativeHash, cluster_dataset, make_hash_family
+from repro.core.clustering import Cluster, split_cluster
+from repro.core.theory import (
+    count_collisions,
+    same_hash_probability,
+    theorem1_lower_bound,
+    theorem1_upper_bound,
+)
+from repro.data import Dataset
+from repro.similarity import jaccard_pair
+
+profile = st.sets(st.integers(0, 79), min_size=1, max_size=25)
+
+
+def _dataset(profs):
+    return Dataset.from_profiles([sorted(p) for p in profs], n_items=80)
+
+
+class TestClusteringInvariants:
+    @given(
+        profs=st.lists(profile, min_size=2, max_size=25),
+        b=st.sampled_from([2, 4, 16]),
+        t=st.integers(1, 3),
+        seed=st.integers(0, 5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_each_config_is_partition(self, profs, b, t, seed):
+        ds = _dataset(profs)
+        hashes = make_hash_family(ds.n_items, b, t, seed=seed)
+        result = cluster_dataset(ds, hashes, split_threshold=None)
+        for config in range(t):
+            members = np.concatenate(
+                [c.users for c in result.clusters if c.config == config]
+            )
+            assert sorted(members.tolist()) == list(range(ds.n_users))
+
+    @given(
+        profs=st.lists(profile, min_size=4, max_size=30),
+        b=st.sampled_from([2, 4, 8]),
+        threshold=st.integers(2, 10),
+        seed=st.integers(0, 5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_split_preserves_partition(self, profs, b, threshold, seed):
+        ds = _dataset(profs)
+        hashes = make_hash_family(ds.n_items, b, 1, seed=seed)
+        result = cluster_dataset(ds, hashes, split_threshold=threshold)
+        members = np.concatenate([c.users for c in result.clusters])
+        assert sorted(members.tolist()) == list(range(ds.n_users))
+
+    @given(
+        profs=st.lists(profile, min_size=4, max_size=30),
+        b=st.sampled_from([2, 4, 8]),
+        threshold=st.integers(2, 10),
+        seed=st.integers(0, 5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_splittable_pieces_within_threshold(self, profs, b, threshold, seed):
+        ds = _dataset(profs)
+        gen = GenerativeHash(ds.n_items, b, seed=seed)
+        frh = FastRandomHash(gen)
+        hashes = frh.user_hashes(ds)
+        for eta in np.unique(hashes):
+            users = np.flatnonzero(hashes == eta)
+            cluster = Cluster(users=users, config=0, eta=int(eta))
+            pieces, _ = split_cluster(ds, frh, cluster, threshold)
+            for p in pieces:
+                if p.splittable:
+                    assert p.size <= threshold
+                # residuals keep the parent's eta
+                else:
+                    assert p.eta >= cluster.eta
+
+    @given(
+        profs=st.lists(profile, min_size=2, max_size=20),
+        seed=st.integers(0, 5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_identical_profiles_always_cohash(self, profs, seed):
+        """Two users with the same profile always share every cluster."""
+        ds = Dataset.from_profiles(
+            [sorted(profs[0])] + [sorted(p) for p in profs], n_items=80
+        )
+        frh = FastRandomHash(GenerativeHash(ds.n_items, 8, seed=seed))
+        hashes = frh.user_hashes(ds)
+        assert hashes[0] == hashes[1]
+
+
+class TestTheorem1Property:
+    @given(
+        a=profile,
+        b=profile,
+        n_buckets=st.sampled_from([4, 16, 64]),
+        seed=st.integers(0, 20),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_eq6_within_theorem1_bracket(self, a, b, n_buckets, seed):
+        """For any profiles and any hash, the exact per-hash probability
+        (Eq. 6) lies in the Theorem 1 bracket built from that hash's
+        collision count."""
+        p1, p2 = np.array(sorted(a)), np.array(sorted(b))
+        union = np.union1d(p1, p2)
+        h = GenerativeHash(80, n_buckets, seed=seed)
+        kappa = count_collisions(h, union)
+        ell = union.size
+        j = jaccard_pair(p1, p2)
+        prob = same_hash_probability(h, p1, p2)
+        assert theorem1_lower_bound(j, kappa, ell) <= prob + 1e-9
+        if kappa < ell:
+            assert prob <= theorem1_upper_bound(j, kappa, ell) + 1e-9

@@ -1,0 +1,71 @@
+"""Property-based tests for the data substrate (dataset + CV)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Dataset, k_fold_split
+
+profile = st.sets(st.integers(0, 59), min_size=2, max_size=20)
+
+
+class TestDatasetProperties:
+    @given(profs=st.lists(profile, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_from_profiles_roundtrip(self, profs):
+        ds = Dataset.from_profiles([sorted(p) for p in profs], n_items=60)
+        assert ds.n_users == len(profs)
+        for u, p in enumerate(profs):
+            assert ds.profile_set(u) == p
+
+    @given(profs=st.lists(profile, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_from_ratings_equals_from_profiles(self, profs):
+        users, items = [], []
+        for u, p in enumerate(profs):
+            for i in p:
+                users.append(u)
+                items.append(i)
+        a = Dataset.from_ratings(
+            np.array(users, dtype=np.int64),
+            np.array(items, dtype=np.int64),
+            n_users=len(profs),
+            n_items=60,
+        )
+        b = Dataset.from_profiles([sorted(p) for p in profs], n_items=60)
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+
+    @given(
+        profs=st.lists(profile, min_size=1, max_size=15),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_subset_profiles_match(self, profs, data):
+        ds = Dataset.from_profiles([sorted(p) for p in profs], n_items=60)
+        picks = data.draw(
+            st.lists(st.integers(0, len(profs) - 1), min_size=0, max_size=8)
+        )
+        sub = ds.subset(np.array(picks, dtype=np.int64))
+        for pos, u in enumerate(picks):
+            assert sub.profile_set(pos) == ds.profile_set(u)
+
+
+class TestCVProperties:
+    @given(
+        profs=st.lists(profile, min_size=1, max_size=12),
+        n_folds=st.integers(2, 4),
+        seed=st.integers(0, 5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_folds_partition_each_profile(self, profs, n_folds, seed):
+        ds = Dataset.from_profiles([sorted(p) for p in profs], n_items=60)
+        folds = k_fold_split(ds, n_folds=n_folds, seed=seed)
+        for u in range(ds.n_users):
+            all_test = np.concatenate([f.test_items(u) for f in folds])
+            assert sorted(all_test.tolist()) == ds.profile(u).tolist()
+            for f in folds:
+                train = set(f.train.profile(u).tolist())
+                test = set(f.test_items(u).tolist())
+                assert not train & test
+                assert train | test == ds.profile_set(u)

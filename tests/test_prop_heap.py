@@ -1,0 +1,89 @@
+"""Property-based tests for the bounded neighbour heaps."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import NeighborHeaps
+
+edge = st.tuples(st.integers(1, 30), st.floats(0.0, 1.0, allow_nan=False))
+
+
+class TestHeapInvariants:
+    @given(edges=st.lists(edge, max_size=60), k=st.integers(1, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_scalar_pushes_keep_topk(self, edges, k):
+        """After arbitrary pushes, the heap holds the top-k by score of
+        the best score seen per distinct id."""
+        h = NeighborHeaps(1, k)
+        best: dict[int, float] = {}
+        for v, s in edges:
+            h.push(0, v, s)
+            best[v] = max(best.get(v, -1.0), s)
+        ids, scores = h.items(0)
+        assert ids.size == min(k, len(best))
+        if best:
+            kth = sorted(best.values(), reverse=True)[: k][-1] if best else 0.0
+            # every kept score is >= the k-th best overall
+            assert all(s >= kth - 1e-12 for s in scores)
+
+    @given(edges=st.lists(edge, max_size=60), k=st.integers(1, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_no_duplicates_ever(self, edges, k):
+        h = NeighborHeaps(1, k)
+        for v, s in edges:
+            h.push(0, v, s)
+        ids = h.neighbors(0)
+        assert np.unique(ids).size == ids.size
+
+    @given(edges=st.lists(edge, min_size=1, max_size=60), k=st.integers(1, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_batch_equals_offline_topk(self, edges, k):
+        """push_batch == offline top-k under the (-score, id) order,
+        with per-id max-score dedupe."""
+        h = NeighborHeaps(1, k)
+        cands = np.array([v for v, _ in edges], dtype=np.int64)
+        scores = np.array([s for _, s in edges], dtype=np.float64)
+        h.push_batch(0, cands, scores)
+
+        best: dict[int, float] = {}
+        for v, s in edges:
+            best[v] = max(best.get(v, -1.0), s)
+        ids = np.array(sorted(best))
+        sc = np.array([best[int(i)] for i in ids])
+        expected = set(ids[np.lexsort((ids, -sc))[:k]].tolist())
+        assert set(h.neighbors(0).tolist()) == expected
+
+    @given(
+        edges=st.lists(edge, min_size=1, max_size=40),
+        k=st.integers(1, 6),
+        split=st.integers(0, 40),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_batch_split_invariance(self, edges, k, split):
+        """Offering candidates in one batch or two must give the same
+        final neighbourhood (merge associativity)."""
+        cands = np.array([v for v, _ in edges], dtype=np.int64)
+        scores = np.array([s for _, s in edges], dtype=np.float64)
+        split = min(split, len(edges))
+
+        one = NeighborHeaps(1, k)
+        one.push_batch(0, cands, scores)
+
+        two = NeighborHeaps(1, k)
+        two.push_batch(0, cands[:split], scores[:split])
+        two.push_batch(0, cands[split:], scores[split:])
+
+        assert set(one.neighbors(0).tolist()) == set(two.neighbors(0).tolist())
+
+    @given(edges=st.lists(edge, min_size=1, max_size=40), k=st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent_reoffer(self, edges, k):
+        h = NeighborHeaps(1, k)
+        cands = np.array([v for v, _ in edges], dtype=np.int64)
+        scores = np.array([s for _, s in edges], dtype=np.float64)
+        h.push_batch(0, cands, scores)
+        before = h.neighbors(0).copy()
+        inserted = h.push_batch(0, cands, scores)
+        assert inserted.size == 0
+        assert set(h.neighbors(0).tolist()) == set(before.tolist())

@@ -1,0 +1,76 @@
+"""Property-based tests over the full C² pipeline on random datasets."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import C2Params, cluster_and_conquer
+from repro.data import Dataset
+from repro.graph.heap import EMPTY
+from repro.similarity import ExactEngine
+
+profile = st.sets(st.integers(0, 49), min_size=1, max_size=15)
+datasets = st.lists(profile, min_size=2, max_size=20)
+
+
+def _params(t, b, n):
+    return C2Params(k=3, n_buckets=b, n_hashes=t, split_threshold=n, seed=1)
+
+
+class TestC2Invariants:
+    @given(
+        profs=datasets,
+        t=st.integers(1, 4),
+        b=st.sampled_from([2, 8, 32]),
+        n=st.one_of(st.none(), st.integers(2, 10)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_graph_wellformed(self, profs, t, b, n):
+        """Whatever the parameters: neighbour ids are valid users, no
+        self-loops, no duplicate neighbours, scores in [0, 1]."""
+        ds = Dataset.from_profiles([sorted(p) for p in profs], n_items=50)
+        result = cluster_and_conquer(ExactEngine(ds), _params(t, b, n))
+        ids, scores = result.graph.to_arrays()
+        for u in range(ds.n_users):
+            row = ids[u][ids[u] != EMPTY]
+            assert np.all((row >= 0) & (row < ds.n_users))
+            assert u not in row
+            assert np.unique(row).size == row.size
+            row_scores = scores[u][ids[u] != EMPTY]
+            assert np.all((row_scores >= 0.0) & (row_scores <= 1.0))
+
+    @given(
+        profs=datasets,
+        t=st.integers(1, 3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_scores_are_true_similarities(self, profs, t):
+        """Every edge carries the exact engine similarity of its pair."""
+        ds = Dataset.from_profiles([sorted(p) for p in profs], n_items=50)
+        engine = ExactEngine(ds)
+        result = cluster_and_conquer(engine, _params(t, 8, None))
+        for u in range(ds.n_users):
+            nbrs, scores = result.graph.neighborhood(u)
+            for v, s in zip(nbrs, scores):
+                assert abs(s - engine._pair(u, int(v))) < 1e-12
+
+    @given(profs=datasets, seed=st.integers(0, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic(self, profs, seed):
+        ds = Dataset.from_profiles([sorted(p) for p in profs], n_items=50)
+        params = C2Params(k=3, n_buckets=8, n_hashes=2, split_threshold=None, seed=seed)
+        a = cluster_and_conquer(ExactEngine(ds), params)
+        b = cluster_and_conquer(ExactEngine(ds), params)
+        assert np.array_equal(a.graph.heaps.ids, b.graph.heaps.ids)
+
+    @given(profs=datasets)
+    @settings(max_examples=30, deadline=None)
+    def test_identical_users_find_each_other(self, profs):
+        """Two identical profiles co-hash in every configuration, so
+        they must be in each other's final neighbourhood (their mutual
+        similarity is 1.0, the maximum)."""
+        dup = sorted(profs[0])
+        ds = Dataset.from_profiles([dup, dup] + [sorted(p) for p in profs[1:]], n_items=50)
+        result = cluster_and_conquer(ExactEngine(ds), _params(2, 8, None))
+        assert 1 in result.graph.neighbors(0)
+        assert 0 in result.graph.neighbors(1)

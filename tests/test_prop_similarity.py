@@ -1,0 +1,106 @@
+"""Property-based tests (hypothesis) for the similarity substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Dataset
+from repro.similarity import (
+    GoldFinger,
+    cosine_pair,
+    jaccard_matrix,
+    jaccard_pair,
+)
+
+profiles = st.sets(st.integers(0, 99), min_size=0, max_size=40)
+nonempty_profiles = st.sets(st.integers(0, 99), min_size=1, max_size=40)
+
+
+def arr(s):
+    return np.array(sorted(s), dtype=np.int64)
+
+
+class TestJaccardAxioms:
+    @given(a=profiles, b=profiles)
+    def test_range(self, a, b):
+        assert 0.0 <= jaccard_pair(arr(a), arr(b)) <= 1.0
+
+    @given(a=profiles, b=profiles)
+    def test_symmetry(self, a, b):
+        assert jaccard_pair(arr(a), arr(b)) == jaccard_pair(arr(b), arr(a))
+
+    @given(a=nonempty_profiles)
+    def test_identity(self, a):
+        assert jaccard_pair(arr(a), arr(a)) == 1.0
+
+    @given(a=nonempty_profiles, b=nonempty_profiles)
+    def test_one_iff_equal(self, a, b):
+        j = jaccard_pair(arr(a), arr(b))
+        assert (j == 1.0) == (a == b)
+
+    @given(a=profiles, b=profiles)
+    def test_zero_iff_disjoint(self, a, b):
+        j = jaccard_pair(arr(a), arr(b))
+        assert (j == 0.0) == (not (a & b))
+
+    @given(a=nonempty_profiles, b=nonempty_profiles)
+    def test_definition(self, a, b):
+        assert jaccard_pair(arr(a), arr(b)) == len(a & b) / len(a | b)
+
+    @given(a=nonempty_profiles, b=nonempty_profiles)
+    def test_jaccard_le_cosine(self, a, b):
+        assert jaccard_pair(arr(a), arr(b)) <= cosine_pair(arr(a), arr(b)) + 1e-12
+
+
+class TestJaccardMatrixProperties:
+    @given(
+        data=st.lists(nonempty_profiles, min_size=2, max_size=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matrix_equals_pairs(self, data):
+        ds = Dataset.from_profiles([sorted(p) for p in data], n_items=100)
+        m = jaccard_matrix(ds)
+        for i in range(ds.n_users):
+            for j in range(ds.n_users):
+                expected = jaccard_pair(ds.profile(i), ds.profile(j))
+                assert abs(m[i, j] - expected) < 1e-12
+
+
+class TestGoldFingerProperties:
+    @given(
+        data=st.lists(nonempty_profiles, min_size=2, max_size=6),
+        bits=st.sampled_from([64, 256, 1024]),
+        seed=st.integers(0, 10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_estimates_in_unit_interval(self, data, bits, seed):
+        ds = Dataset.from_profiles([sorted(p) for p in data], n_items=100)
+        gf = GoldFinger(ds, n_bits=bits, seed=seed)
+        m = gf.estimate_matrix(np.arange(ds.n_users))
+        assert np.all(m >= 0.0) and np.all(m <= 1.0)
+
+    @given(
+        a=nonempty_profiles,
+        bits=st.sampled_from([64, 512]),
+        seed=st.integers(0, 10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_identical_profiles_estimate_one(self, a, bits, seed):
+        ds = Dataset.from_profiles([sorted(a), sorted(a)], n_items=100)
+        gf = GoldFinger(ds, n_bits=bits, seed=seed)
+        assert gf.estimate_pair(0, 1) == 1.0
+
+    @given(
+        a=nonempty_profiles,
+        b=nonempty_profiles,
+        seed=st.integers(0, 10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_superset_bits_never_lower(self, a, b, seed):
+        """fp(A ∪ B) == fp(A) | fp(B): fingerprinting is a union
+        homomorphism (the structural invariant behind SHFs)."""
+        union = sorted(a | b)
+        ds = Dataset.from_profiles([sorted(a), sorted(b), union], n_items=100)
+        gf = GoldFinger(ds, n_bits=256, seed=seed)
+        fp = gf.fingerprints
+        assert np.array_equal(fp[2], fp[0] | fp[1])

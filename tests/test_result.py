@@ -1,0 +1,53 @@
+"""Unit tests for repro.result (BuildResult + track_build)."""
+
+import time
+
+import pytest
+
+from repro.graph import KNNGraph
+from repro.result import BuildResult, track_build
+from repro.similarity import ExactEngine
+
+
+class TestBuildResult:
+    def test_scan_rate(self):
+        result = BuildResult(graph=KNNGraph(10, 3), seconds=1.0, comparisons=45)
+        assert result.scan_rate == pytest.approx(1.0)  # 45 == C(10,2)
+
+    def test_scan_rate_single_user(self):
+        result = BuildResult(graph=KNNGraph(1, 3), seconds=1.0, comparisons=0)
+        assert result.scan_rate == 0.0
+
+    def test_extra_defaults_empty(self):
+        result = BuildResult(graph=KNNGraph(2, 1), seconds=0.1, comparisons=1)
+        assert result.extra == {}
+
+
+class TestTrackBuild:
+    def test_measures_time_and_comparisons(self, tiny_dataset):
+        engine = ExactEngine(tiny_dataset)
+        with track_build(engine) as info:
+            engine.pair(0, 1)
+            engine.pair(0, 2)
+            time.sleep(0.01)
+        assert info["comparisons"] == 2
+        assert info["seconds"] >= 0.01
+
+    def test_delta_not_absolute(self, tiny_dataset):
+        """Counts from earlier runs on the same engine are excluded."""
+        engine = ExactEngine(tiny_dataset)
+        engine.pair(0, 1)
+        with track_build(engine) as info:
+            engine.pair(1, 2)
+        assert info["comparisons"] == 1
+
+    def test_records_on_exception(self, tiny_dataset):
+        engine = ExactEngine(tiny_dataset)
+        info_ref = None
+        with pytest.raises(RuntimeError):
+            with track_build(engine) as info:
+                info_ref = info
+                engine.pair(0, 1)
+                raise RuntimeError("boom")
+        assert info_ref["comparisons"] == 1
+        assert "seconds" in info_ref

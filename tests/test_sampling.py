@@ -1,0 +1,73 @@
+"""Unit tests for repro.data.sampling (profile capping, [39])."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, sample_profiles
+
+
+@pytest.fixture()
+def skewed():
+    """Item 0 is in every profile (most popular); items 10+ are niche."""
+    return Dataset.from_profiles(
+        [
+            [0, 1, 10, 11, 12],
+            [0, 1, 13, 14, 15],
+            [0, 2, 16, 17, 18],
+            [0, 19],
+        ],
+        n_items=20,
+    )
+
+
+class TestSampleProfiles:
+    def test_caps_sizes(self, skewed):
+        capped = sample_profiles(skewed, max_size=3, policy="uniform", seed=0)
+        assert int(capped.profile_sizes.max()) <= 3
+
+    def test_small_profiles_untouched(self, skewed):
+        capped = sample_profiles(skewed, max_size=3, policy="uniform", seed=0)
+        assert list(capped.profile(3)) == [0, 19]
+
+    def test_least_popular_drops_head_items(self, skewed):
+        capped = sample_profiles(skewed, max_size=3, policy="least_popular", seed=0)
+        for u in range(3):
+            assert 0 not in capped.profile(u)  # the universal item goes first
+
+    def test_most_popular_keeps_head_items(self, skewed):
+        capped = sample_profiles(skewed, max_size=3, policy="most_popular", seed=0)
+        for u in range(3):
+            assert 0 in capped.profile(u)
+
+    def test_subset_of_original(self, skewed):
+        capped = sample_profiles(skewed, max_size=3, policy="uniform", seed=1)
+        for u in range(skewed.n_users):
+            assert set(capped.profile(u)) <= skewed.profile_set(u)
+
+    def test_deterministic(self, skewed):
+        a = sample_profiles(skewed, max_size=3, policy="uniform", seed=7)
+        b = sample_profiles(skewed, max_size=3, policy="uniform", seed=7)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_validation(self, skewed):
+        with pytest.raises(ValueError):
+            sample_profiles(skewed, max_size=0)
+        with pytest.raises(ValueError):
+            sample_profiles(skewed, max_size=3, policy="banana")
+
+    def test_least_popular_preserves_knn_better_than_most_popular(self, small_dataset):
+        """The claim of [39]: niche items are the discriminating ones."""
+        from repro.baselines import brute_force_knn
+        from repro.graph import quality
+        from repro.similarity import ExactEngine
+
+        exact = brute_force_knn(ExactEngine(small_dataset), k=5).graph
+        cap = int(np.median(small_dataset.profile_sizes) * 0.5)
+
+        qualities = {}
+        for policy in ("least_popular", "most_popular"):
+            capped = sample_profiles(small_dataset, cap, policy=policy, seed=0)
+            graph = brute_force_knn(ExactEngine(capped), k=5).graph
+            # evaluate edges on the ORIGINAL profiles
+            qualities[policy] = quality(graph, exact, small_dataset)
+        assert qualities["least_popular"] > qualities["most_popular"]

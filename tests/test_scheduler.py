@@ -1,0 +1,82 @@
+"""Unit tests for repro.core.scheduler."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import Cluster, makespan_lower_bound, run_clusters
+
+
+def _mk_clusters(sizes):
+    return [
+        Cluster(users=np.arange(s), config=0, eta=i + 1) for i, s in enumerate(sizes)
+    ]
+
+
+class TestRunClusters:
+    def test_results_in_input_order(self):
+        clusters = _mk_clusters([5, 50, 20])
+        out = run_clusters(clusters, lambda c: c.size, n_workers=1)
+        assert out == [5, 50, 20]
+
+    def test_largest_first_execution_order(self):
+        clusters = _mk_clusters([5, 50, 20])
+        seen = []
+        run_clusters(clusters, lambda c: seen.append(c.size), n_workers=1)
+        assert seen == [50, 20, 5]
+
+    def test_fifo_execution_order(self):
+        clusters = _mk_clusters([5, 50, 20])
+        seen = []
+        run_clusters(clusters, lambda c: seen.append(c.size), n_workers=1, order="fifo")
+        assert seen == [5, 50, 20]
+
+    def test_parallel_results_match_serial(self):
+        clusters = _mk_clusters([3, 9, 1, 7, 5])
+        serial = run_clusters(clusters, lambda c: c.size * 2, n_workers=1)
+        parallel = run_clusters(clusters, lambda c: c.size * 2, n_workers=4)
+        assert serial == parallel
+
+    def test_parallel_actually_concurrent(self):
+        """With enough workers, two solvers must overlap in time."""
+        barrier = threading.Barrier(2, timeout=5)
+
+        def solve(_):
+            barrier.wait()  # deadlocks unless 2 run concurrently
+            return True
+
+        out = run_clusters(_mk_clusters([2, 2]), solve, n_workers=2)
+        assert out == [True, True]
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError):
+            run_clusters([], lambda c: c, order="random")
+
+    def test_empty(self):
+        assert run_clusters([], lambda c: c) == []
+
+    def test_exception_propagates(self):
+        def boom(_):
+            raise RuntimeError("solver failed")
+
+        with pytest.raises(RuntimeError, match="solver failed"):
+            run_clusters(_mk_clusters([1]), boom, n_workers=2)
+
+
+class TestMakespan:
+    def test_single_worker_is_total_work(self):
+        assert makespan_lower_bound([2, 3], 1) == pytest.approx(4 + 9)
+
+    def test_many_workers_bounded_by_biggest(self):
+        assert makespan_lower_bound([10, 1, 1], 100) == pytest.approx(100.0)
+
+    def test_empty(self):
+        assert makespan_lower_bound([], 4) == 0.0
+
+    def test_balanced_clusters_lower_makespan(self):
+        """The motivation for recursive splitting: same total users,
+        balanced sizes -> much lower parallel makespan."""
+        unbalanced = makespan_lower_bound([75, 10, 15], 8)
+        balanced = makespan_lower_bound([18, 34, 23, 10, 15], 8)  # Fig. 3
+        assert balanced < unbalanced

@@ -1,0 +1,70 @@
+"""Unit tests for repro.data.stats and repro.data.io."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, describe, load_dataset, save_dataset
+
+
+class TestDescribe:
+    def test_counts(self, tiny_dataset):
+        stats = describe(tiny_dataset)
+        assert stats.n_users == 6
+        assert stats.n_items == 9
+        assert stats.n_ratings == 22
+
+    def test_mean_profile_size(self, tiny_dataset):
+        stats = describe(tiny_dataset)
+        assert stats.mean_profile_size == pytest.approx(22 / 6)
+
+    def test_mean_item_degree_ignores_unused(self):
+        ds = Dataset.from_profiles([[0], [0]], n_items=10)
+        stats = describe(ds)
+        assert stats.mean_item_degree == pytest.approx(2.0)
+
+    def test_density(self, tiny_dataset):
+        stats = describe(tiny_dataset)
+        assert stats.density == pytest.approx(22 / (6 * 9))
+
+    def test_as_row_format(self, tiny_dataset):
+        row = describe(tiny_dataset).as_row()
+        assert row["Dataset"] == "tiny"
+        assert row["Users"] == 6
+        assert row["Density"].endswith("%")
+
+    def test_empty_dataset(self):
+        stats = describe(Dataset.from_profiles([], n_items=0))
+        assert stats.mean_profile_size == 0.0
+        assert stats.mean_item_degree == 0.0
+
+
+class TestIO:
+    def test_roundtrip(self, tiny_dataset, tmp_path):
+        path = tmp_path / "tiny.txt"
+        save_dataset(tiny_dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.n_users == tiny_dataset.n_users
+        assert loaded.n_items == tiny_dataset.n_items
+        assert np.array_equal(loaded.indices, tiny_dataset.indices)
+        assert np.array_equal(loaded.indptr, tiny_dataset.indptr)
+        assert loaded.name == "tiny"
+
+    def test_roundtrip_with_empty_profile(self, tmp_path):
+        ds = Dataset.from_profiles([[], [0, 2]], n_items=3, name="gap")
+        path = tmp_path / "gap.txt"
+        save_dataset(ds, path)
+        loaded = load_dataset(path)
+        assert loaded.profile(0).size == 0
+        assert list(loaded.profile(1)) == [0, 2]
+
+    def test_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("not a dataset\n")
+        with pytest.raises(ValueError, match="not a repro dataset"):
+            load_dataset(path)
+
+    def test_rejects_truncated(self, tmp_path):
+        path = tmp_path / "trunc.txt"
+        path.write_text("#users 3 5 x\n0 1\n")
+        with pytest.raises(ValueError, match="truncated"):
+            load_dataset(path)

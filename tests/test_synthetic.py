@@ -1,0 +1,120 @@
+"""Unit tests for repro.data.synthetic and repro.data.registry."""
+
+import numpy as np
+import pytest
+
+from repro.data import PAPER_SPECS, SyntheticSpec, dataset_names, generate, load
+from repro.data.stats import describe
+
+
+def _spec(**overrides) -> SyntheticSpec:
+    base = dict(
+        name="t",
+        n_users=120,
+        n_items=400,
+        mean_profile_size=30.0,
+        n_communities=6,
+        community_pool_size=60,
+        min_profile_size=10,
+    )
+    base.update(overrides)
+    return SyntheticSpec(**base)
+
+
+class TestGenerate:
+    def test_shape(self):
+        ds = generate(_spec(), seed=1)
+        assert ds.n_users == 120
+        assert ds.n_items == 400
+
+    def test_min_profile_size_respected(self):
+        ds = generate(_spec(min_profile_size=12), seed=2)
+        assert int(ds.profile_sizes.min()) >= 12
+
+    def test_profiles_unique_sorted(self):
+        ds = generate(_spec(), seed=3)
+        for _, profile in ds.iter_profiles():
+            assert np.all(np.diff(profile) > 0)
+
+    def test_deterministic_in_seed(self):
+        a = generate(_spec(), seed=9)
+        b = generate(_spec(), seed=9)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.indptr, b.indptr)
+
+    def test_different_seeds_differ(self):
+        a = generate(_spec(), seed=1)
+        b = generate(_spec(), seed=2)
+        assert not np.array_equal(a.indices, b.indices)
+
+    def test_mean_profile_size_roughly_matches(self):
+        spec = _spec(n_users=400, mean_profile_size=40.0, min_profile_size=5)
+        ds = generate(spec, seed=4)
+        assert 25 <= ds.profile_sizes.mean() <= 60
+
+    def test_popularity_skew_present(self):
+        """Zipf popularity: the busiest item should dwarf the median."""
+        ds = generate(_spec(n_users=400, popularity_exponent=1.2), seed=5)
+        degrees = np.bincount(ds.indices, minlength=ds.n_items)
+        used = degrees[degrees > 0]
+        assert used.max() >= 5 * np.median(used)
+
+    def test_community_structure_raises_similarity(self):
+        """Users in the same community must overlap more than random
+        pairs — otherwise KNN graphs over the data are meaningless."""
+        from repro.similarity import jaccard_matrix
+
+        ds = generate(
+            _spec(n_users=100, community_affinity=0.9, popularity_exponent=0.5),
+            seed=6,
+        )
+        sims = jaccard_matrix(ds)
+        np.fill_diagonal(sims, 0.0)
+        top_mean = np.sort(sims, axis=1)[:, -5:].mean()
+        overall = sims.mean()
+        assert top_mean > 2 * overall
+
+
+class TestScaled:
+    def test_scaled_shrinks_users_only(self):
+        spec = PAPER_SPECS["ml10M"].scaled(0.05)
+        assert spec.n_users == round(69_816 * 0.05)
+        # The item universe stays full-size: per-item prevalence (which
+        # drives FRH cluster sizes and the paper's b) must not scale.
+        assert spec.n_items == PAPER_SPECS["ml10M"].n_items
+        assert spec.n_communities < PAPER_SPECS["ml10M"].n_communities
+
+    def test_scaled_identity(self):
+        spec = PAPER_SPECS["ml1M"].scaled(1.0)
+        assert spec.n_users == PAPER_SPECS["ml1M"].n_users
+
+    def test_scaled_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            PAPER_SPECS["ml1M"].scaled(0.0)
+        with pytest.raises(ValueError):
+            PAPER_SPECS["ml1M"].scaled(1.5)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert dataset_names() == ["ml1M", "ml10M", "ml20M", "AM", "DBLP", "GW"]
+
+    def test_load_deterministic(self):
+        a = load("ml1M", scale=0.02, seed=1)
+        b = load("ml1M", scale=0.02, seed=1)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_load_unknown_raises(self):
+        with pytest.raises(KeyError):
+            load("nope")
+
+    def test_sparse_vs_dense_contrast(self):
+        """AM stand-in must be much sparser than ml10M (paper §IV-A)."""
+        dense = describe(load("ml10M", scale=0.02))
+        sparse = describe(load("AM", scale=0.02))
+        assert sparse.density < dense.density / 3
+
+    def test_all_datasets_meet_min_ratings(self):
+        for name in dataset_names():
+            ds = load(name, scale=0.01)
+            assert int(ds.profile_sizes.min()) >= 20, name

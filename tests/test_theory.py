@@ -1,0 +1,130 @@
+"""Unit tests for repro.core.theory (Theorems 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GenerativeHash
+from repro.core.theory import (
+    collision_density_threshold,
+    count_collisions,
+    empirical_same_hash_probability,
+    paper_numeric_example,
+    same_hash_probability,
+    theorem1_lower_bound,
+    theorem1_upper_bound,
+    theorem2_probability_bound,
+)
+from repro.similarity import jaccard_pair
+
+
+class TestClosedForms:
+    def test_lower_bound_value(self):
+        assert theorem1_lower_bound(0.5, kappa=10, ell=100) == pytest.approx(0.4)
+
+    def test_upper_bound_value(self):
+        # (J + x) / (1 - x) with x = 0.1
+        assert theorem1_upper_bound(0.5, kappa=10, ell=100) == pytest.approx(0.6 / 0.9)
+
+    def test_upper_bound_tighter_than_expansion(self):
+        """Exact form <= J + 3x + 9x^2 for x <= 1/2 (Eq. 5 region)."""
+        for j in (0.1, 0.5, 0.9):
+            for kappa in (0, 5, 20, 49):
+                x = kappa / 100
+                exact = theorem1_upper_bound(j, kappa, 100)
+                expansion = j + 3 * x + 9 * x * x
+                assert exact <= expansion + 1e-9
+
+    def test_zero_collisions_brackets_jaccard(self):
+        assert theorem1_lower_bound(0.3, 0, 50) == pytest.approx(0.3)
+        assert theorem1_upper_bound(0.3, 0, 50) == pytest.approx(0.3)
+
+    def test_threshold_monotone_in_d(self):
+        assert collision_density_threshold(256, 4096, 1.5) > collision_density_threshold(
+            256, 4096, 0.5
+        )
+
+    def test_probability_bound_in_unit_interval(self):
+        for d in (0.5, 1.0, 2.0):
+            p = theorem2_probability_bound(256, 4096, d)
+            assert 0.0 <= p <= 1.0
+
+    def test_probability_increases_with_d(self):
+        p1 = theorem2_probability_bound(256, 4096, 0.5)
+        p2 = theorem2_probability_bound(256, 4096, 1.5)
+        assert p2 > p1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theorem1_lower_bound(0.5, 0, 0)
+        with pytest.raises(ValueError):
+            theorem1_upper_bound(0.5, 100, 100)
+        with pytest.raises(ValueError):
+            theorem2_probability_bound(256, 4096, 0)
+
+
+class TestPaperExample:
+    def test_quoted_numbers(self):
+        """margin 0.078, upper 0.234, probability 0.998 (see module note
+        on the paper's d=0.5 vs d=1.5 discrepancy)."""
+        ex = paper_numeric_example()
+        assert ex.lower_margin == pytest.approx(0.078, abs=0.001)
+        assert ex.upper_margin == pytest.approx(0.234, abs=0.002)
+        assert ex.probability == pytest.approx(0.998, abs=0.001)
+
+    def test_paper_stated_d_does_not_reproduce(self):
+        """Documents the typo: d=0.5 gives probability ~0.58, not 0.998."""
+        assert theorem2_probability_bound(256, 4096, 0.5) < 0.7
+
+
+class TestExactQuantities:
+    def test_count_collisions_no_collision(self):
+        h = GenerativeHash(10, 1_000_000, seed=0)
+        union = np.arange(10)
+        assert count_collisions(h, union) == 10 - np.unique(h(union)).size
+
+    def test_count_collisions_single_bucket(self):
+        h = GenerativeHash(10, 1, seed=0)
+        assert count_collisions(h, np.arange(10)) == 9
+
+    def test_same_hash_probability_identical_profiles(self):
+        h = GenerativeHash(20, 8, seed=1)
+        p = np.arange(10)
+        assert same_hash_probability(h, p, p) == 1.0
+
+    def test_same_hash_probability_bracketed_by_theorem1(self, rng):
+        """Eq. (6) value must lie within the Theorem 1 bracket computed
+        from the same hash's collision count — for every random hash."""
+        n_items = 500
+        p1 = np.sort(rng.choice(n_items, size=60, replace=False))
+        p2_pool = np.concatenate([p1[:30], rng.choice(n_items, 60, replace=False)])
+        p2 = np.unique(p2_pool)[:60]
+        union = np.union1d(p1, p2)
+        j = jaccard_pair(p1, p2)
+        ell = union.size
+        for seed in range(50):
+            h = GenerativeHash(n_items, 64, seed=seed)
+            kappa = count_collisions(h, union)
+            prob = same_hash_probability(h, p1, p2)
+            assert theorem1_lower_bound(j, kappa, ell) <= prob + 1e-9
+            assert prob <= theorem1_upper_bound(j, kappa, ell) + 1e-9
+
+
+class TestMonteCarlo:
+    def test_empirical_probability_tracks_jaccard(self, rng):
+        """P[H(u1)=H(u2)] ~= J for a large hash space (few collisions)."""
+        n_items = 2000
+        shared = rng.choice(n_items, size=40, replace=False)
+        extra1 = rng.choice(n_items, size=40, replace=False)
+        extra2 = rng.choice(n_items, size=40, replace=False)
+        p1 = np.unique(np.concatenate([shared, extra1]))
+        p2 = np.unique(np.concatenate([shared, extra2]))
+        j = jaccard_pair(p1, p2)
+        est = empirical_same_hash_probability(
+            p1, p2, n_items, n_buckets=4096, n_trials=400, seed=1
+        )
+        assert est == pytest.approx(j, abs=0.1)
+
+    def test_identical_users_always_collide(self):
+        p = np.arange(30)
+        est = empirical_same_hash_probability(p, p, 100, 16, n_trials=50)
+        assert est == 1.0

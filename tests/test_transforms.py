@@ -1,0 +1,69 @@
+"""Unit tests for repro.data.transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, binarize_ratings, compact_items, filter_min_ratings
+
+
+class TestBinarize:
+    def test_keeps_only_positive(self):
+        ds = binarize_ratings(
+            users=np.array([0, 0, 1, 1]),
+            items=np.array([0, 1, 0, 2]),
+            ratings=np.array([5.0, 2.0, 3.0, 4.0]),
+            n_users=2,
+            n_items=3,
+        )
+        assert list(ds.profile(0)) == [0]  # the 2.0 rating dropped
+        assert list(ds.profile(1)) == [2]  # the 3.0 rating dropped (strict >)
+
+    def test_custom_threshold(self):
+        ds = binarize_ratings(
+            users=np.array([0, 0]),
+            items=np.array([0, 1]),
+            ratings=np.array([1.0, 2.0]),
+            threshold=0.5,
+            n_users=1,
+            n_items=2,
+        )
+        assert ds.n_ratings == 2
+
+    def test_mismatched_arrays(self):
+        with pytest.raises(ValueError, match="parallel"):
+            binarize_ratings(np.array([0]), np.array([0, 1]), np.array([4.0]))
+
+
+class TestFilterMinRatings:
+    def test_drops_small_profiles(self):
+        ds = Dataset.from_profiles([[0, 1, 2], [0], [1, 2, 3, 4]], n_items=5)
+        filtered, kept = filter_min_ratings(ds, min_ratings=3)
+        assert list(kept) == [0, 2]
+        assert filtered.n_users == 2
+        assert list(filtered.profile(1)) == [1, 2, 3, 4]
+
+    def test_item_universe_preserved(self):
+        ds = Dataset.from_profiles([[0], [1, 2]], n_items=10)
+        filtered, _ = filter_min_ratings(ds, min_ratings=2)
+        assert filtered.n_items == 10
+
+    def test_all_pass(self):
+        ds = Dataset.from_profiles([[0, 1], [2, 3]], n_items=4)
+        filtered, kept = filter_min_ratings(ds, min_ratings=1)
+        assert filtered.n_users == 2
+        assert list(kept) == [0, 1]
+
+
+class TestCompactItems:
+    def test_remaps_densely(self):
+        ds = Dataset.from_profiles([[5, 100], [100, 200]], n_items=300)
+        compacted, mapping = compact_items(ds)
+        assert compacted.n_items == 3
+        assert list(mapping) == [5, 100, 200]
+        assert list(compacted.profile(0)) == [0, 1]
+        assert list(compacted.profile(1)) == [1, 2]
+
+    def test_preserves_profile_sizes(self):
+        ds = Dataset.from_profiles([[9, 17], [3]], n_items=20)
+        compacted, _ = compact_items(ds)
+        assert np.array_equal(compacted.profile_sizes, ds.profile_sizes)
