@@ -1,0 +1,99 @@
+"""Online updates — incremental maintenance vs. from-scratch rebuilds.
+
+Not a figure from the paper: the paper builds batch graphs. This
+benchmark measures what the online subsystem adds on top — per-update
+latency and similarity cost of `OnlineIndex` against the only
+alternative a batch pipeline offers (rebuild the world), plus the
+recall drift after a sustained update stream.
+
+Scenario: a MovieLens-like workload; a stream of single-item ratings,
+new-user signups and account deletions; ground truth recomputed by
+brute force on the final profiles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import brute_force_knn
+from repro.bench import bench_scale, emit
+from repro.core import cluster_and_conquer
+from repro.graph import edge_recall
+from repro.online import OnlineIndex
+from repro.similarity import ExactEngine, make_engine
+
+from conftest import get_dataset, get_workload
+
+N_UPDATES = 100
+
+
+def test_online_updates_vs_rebuild(benchmark):
+    dataset = get_dataset("ml1M")
+    workload = get_workload("ml1M")
+    params = workload.c2_params
+    rng = np.random.default_rng(7)
+
+    index = OnlineIndex.build(dataset, params=params)
+    build_comparisons = index.build_result.comparisons
+    build_seconds = index.build_result.seconds
+
+    def stream() -> None:
+        for _ in range(N_UPDATES):
+            op = rng.random()
+            if op < 0.8:  # a user rates one new item
+                user = int(rng.choice(index.dataset.active_users()))
+                index.add_items(user, [int(rng.integers(0, dataset.n_items))])
+            elif op < 0.9:  # a new user signs up
+                size = int(rng.integers(15, 40))
+                index.add_user(rng.integers(0, dataset.n_items, size=size))
+            else:  # an account is deleted
+                index.remove_user(int(rng.choice(index.dataset.active_users())))
+
+    result = benchmark.pedantic(stream, rounds=1, iterations=1)  # noqa: F841
+
+    # From-scratch rebuild on the final profiles: the cost an offline
+    # pipeline would pay to reach the same state.
+    snapshot = index.dataset.snapshot()
+    rebuild = cluster_and_conquer(make_engine(snapshot), params)
+
+    active = index.dataset.active_users()
+    exact = brute_force_knn(ExactEngine(snapshot), k=params.k).graph
+    online_recall = edge_recall(index.graph, exact, users=active)
+    rebuild_recall = edge_recall(rebuild.graph, exact, users=active)
+
+    per_update = index.update_comparisons / max(1, index.n_updates)
+    emit(
+        "online_updates",
+        f"Online maintenance at scale={bench_scale()} — {N_UPDATES} mixed "
+        "updates (80% new rating, 10% signup, 10% deletion)",
+        [
+            {
+                "Series": "OnlineIndex (incremental)",
+                "Similarities": index.update_comparisons,
+                "Per update": f"{per_update:.0f}",
+                "Recall": f"{online_recall:.3f}",
+            },
+            {
+                "Series": "Full rebuild (batch C2)",
+                "Similarities": rebuild.comparisons,
+                "Per update": f"{rebuild.comparisons:.0f}",
+                "Recall": f"{rebuild_recall:.3f}",
+            },
+            {
+                "Series": "Initial build (reference)",
+                "Similarities": build_comparisons,
+                "Per update": "-",
+                "Recall": f"(build {build_seconds:.2f}s)",
+            },
+        ],
+    )
+
+    # The whole point: the update stream costs a small fraction of one
+    # rebuild, and recall does not drift below the rebuilt graph's.
+    # Per-update cost is ~one cluster row while a rebuild pays ~n/2 of
+    # them, so the achievable ratio scales like 2·updates/n — the bound
+    # tracks that instead of pinning a constant that only holds at one
+    # scale (at the paper's user counts it lands well under 5%).
+    bound = min(0.5, 4.0 * N_UPDATES / max(1, active.size))
+    assert index.update_comparisons < bound * rebuild.comparisons
+    assert online_recall >= rebuild_recall - 0.05

@@ -13,7 +13,7 @@ Quickstart::
     print(result.graph.neighborhood(0))
 """
 
-from . import baselines, bench, core, data, distributed, graph, recommend, similarity
+from . import baselines, bench, core, data, distributed, graph, online, recommend, similarity
 from .baselines import (
     BuildResult,
     brute_force_knn,
@@ -24,6 +24,7 @@ from .baselines import (
 from .core import C2Params, cluster_and_conquer, paper_params
 from .data import Dataset
 from .graph import KNNGraph, average_similarity, edge_recall, quality
+from .online import MutableDataset, OnlineIndex
 from .similarity import ExactEngine, GoldFingerEngine, SimilarityEngine, make_engine
 
 __version__ = "1.0.0"
@@ -35,6 +36,8 @@ __all__ = [
     "ExactEngine",
     "GoldFingerEngine",
     "KNNGraph",
+    "MutableDataset",
+    "OnlineIndex",
     "SimilarityEngine",
     "average_similarity",
     "baselines",
@@ -50,6 +53,7 @@ __all__ = [
     "lsh_knn",
     "make_engine",
     "nndescent_knn",
+    "online",
     "paper_params",
     "quality",
     "recommend",

@@ -8,6 +8,8 @@ Commands:
 * ``datasets`` — print the Table I statistics of the synthetic
   stand-ins at a given scale.
 * ``recall`` — run the Table III recommendation protocol.
+* ``update-demo`` — stream profile updates through an ``OnlineIndex``
+  and report the incremental cost vs a from-scratch rebuild.
 
 Examples::
 
@@ -15,6 +17,7 @@ Examples::
     python -m repro build --dataset ml10M --algo C2 --scale 0.05
     python -m repro build --dataset AM --algo Hyrec --k 20
     python -m repro recall --dataset ml1M --folds 5
+    python -m repro update-demo --dataset ml1M --updates 200
 """
 
 from __future__ import annotations
@@ -22,12 +25,15 @@ from __future__ import annotations
 import argparse
 import sys
 
+import numpy as np
+
 from .baselines import brute_force_knn
 from .bench.report import format_table
 from .bench.runner import ALGORITHMS, evaluate_run, run_algorithm
 from .bench.workloads import Workload
 from .core import cluster_and_conquer
 from .data import dataset_names, describe, load, load_dataset
+from .online import OnlineIndex
 from .recommend import evaluate_recall
 from .similarity import ExactEngine, make_engine
 
@@ -98,6 +104,52 @@ def _cmd_recall(args) -> int:
     return 0
 
 
+def _cmd_update_demo(args) -> int:
+    dataset = _load_dataset(args)
+    workload = Workload(dataset=args.dataset, scale=args.scale, k=args.k, seed=args.seed)
+    params = workload.c2_params
+    index = OnlineIndex.build(dataset, params=params)
+
+    rng = np.random.default_rng(args.seed)
+    for _ in range(args.updates):
+        op = rng.random()
+        if op < 0.8:
+            user = int(rng.choice(index.dataset.active_users()))
+            index.add_items(user, [int(rng.integers(0, dataset.n_items))])
+        elif op < 0.9:
+            size = int(rng.integers(15, 40))
+            index.add_user(rng.integers(0, dataset.n_items, size=size))
+        else:
+            index.remove_user(int(rng.choice(index.dataset.active_users())))
+
+    rebuild = cluster_and_conquer(make_engine(index.dataset.snapshot()), params)
+    stats = index.stats()
+    per_update = stats["update_comparisons"] / max(1, stats["n_updates"])
+    print(
+        format_table(
+            [
+                {
+                    "Series": "OnlineIndex (incremental)",
+                    "Similarities": stats["update_comparisons"],
+                    "Per update": f"{per_update:.0f}",
+                },
+                {
+                    "Series": "Full rebuild (batch C2)",
+                    "Similarities": rebuild.comparisons,
+                    "Per update": f"{rebuild.comparisons:.0f}",
+                },
+            ],
+            title=(
+                f"{stats['n_updates']} mixed updates on {dataset.name} "
+                f"({stats['n_active']} active users) — "
+                f"{stats['update_comparisons'] / rebuild.comparisons:.1%} "
+                "of one rebuild"
+            ),
+        )
+    )
+    return 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Cluster-and-Conquer KNN graph toolkit"
@@ -131,6 +183,14 @@ def _build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--folds", type=int, default=5)
     p.set_defaults(fn=_cmd_recall)
+
+    p = sub.add_parser(
+        "update-demo",
+        help="stream online updates through an OnlineIndex vs a rebuild",
+    )
+    common(p)
+    p.add_argument("--updates", type=int, default=100)
+    p.set_defaults(fn=_cmd_update_demo)
 
     return parser
 

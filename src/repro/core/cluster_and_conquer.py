@@ -25,13 +25,21 @@ from .scheduler import run_clusters
 __all__ = ["cluster_and_conquer"]
 
 
-def cluster_and_conquer(engine: SimilarityEngine, params: C2Params | None = None) -> BuildResult:
+def cluster_and_conquer(
+    engine: SimilarityEngine,
+    params: C2Params | None = None,
+    keep_clustering: bool = False,
+) -> BuildResult:
     """Build an approximate KNN graph with Cluster-and-Conquer.
 
     Args:
         engine: similarity oracle over the dataset (GoldFinger-backed
             to match the paper's setup, exact for ablations).
         params: algorithm parameters; defaults to :class:`C2Params`.
+        keep_clustering: also store the :class:`ClusteringResult` and
+            the hash family in ``extra`` (``"clustering"``/``"hashes"``)
+            so an :class:`repro.online.OnlineIndex` can take over the
+            built graph for incremental maintenance.
 
     Returns:
         A :class:`BuildResult`; ``extra`` carries per-step timings and
@@ -50,8 +58,8 @@ def cluster_and_conquer(engine: SimilarityEngine, params: C2Params | None = None
             )
             clustering = cluster_dataset(dataset, hashes, params.split_threshold)
         else:  # "minhash": Table IV ablation / LSH-style bucketing
-            perms = make_minhash_family(dataset.n_items, params.n_hashes, seed=params.seed)
-            clustering = minhash_cluster_dataset(dataset, perms)
+            hashes = make_minhash_family(dataset.n_items, params.n_hashes, seed=params.seed)
+            clustering = minhash_cluster_dataset(dataset, hashes)
         t_cluster = time.perf_counter() - t0
 
         # -- Step 2: scheduled local KNN computations -------------------
@@ -82,6 +90,9 @@ def cluster_and_conquer(engine: SimilarityEngine, params: C2Params | None = None
         t_merge = time.perf_counter() - t0
 
     sizes = clustering.sizes()
+    extra_state = (
+        {"clustering": clustering, "hashes": hashes} if keep_clustering else {}
+    )
     return BuildResult(
         graph=graph,
         seconds=info["seconds"],
@@ -96,5 +107,6 @@ def cluster_and_conquer(engine: SimilarityEngine, params: C2Params | None = None
             "time_local_knn": t_local,
             "time_merge": t_merge,
             "params": params,
+            **extra_state,
         },
     )

@@ -67,6 +67,20 @@ class FastRandomHash:
         hashes[hashes <= eta] = UNDEFINED
         return _segment_min(hashes, indptr)
 
+    def profile_hash_path(self, profile: np.ndarray) -> np.ndarray:
+        """The full recursive-split descent path of one profile.
+
+        Splitting re-hashes with ``H\\eta``, i.e. the minimum hash value
+        strictly above the previous one — so the sequence of values a
+        user can take under repeated splitting is exactly the sorted
+        distinct hash values of her items: ``path[0] = H(u)``,
+        ``path[i+1] = H\\path[i](u)``.
+        """
+        profile = np.asarray(profile)
+        if profile.size == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(self.generative(profile).astype(np.int64))
+
 
 def _segment_min(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
     """Per-segment minimum; empty segments get :data:`UNDEFINED`."""

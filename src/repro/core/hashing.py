@@ -43,6 +43,20 @@ class GenerativeHash:
         """Hash values of ``items`` (vectorised table lookup)."""
         return self.table[items]
 
+    def extend(self, n_items: int) -> None:
+        """Extend the lookup table to cover ``n_items`` item ids.
+
+        splitmix64 hashes each id independently, so existing entries
+        are untouched — hash values stay stable as the item universe
+        grows (required by the online-update subsystem).
+        """
+        old = self.table.size
+        if n_items <= old:
+            return
+        raw = splitmix64_array(np.arange(old, n_items, dtype=np.uint64), self.seed)
+        new = (raw % np.uint64(self.n_buckets)).astype(np.int32) + 1
+        self.table = np.concatenate([self.table, new])
+
 
 def make_hash_family(n_items: int, n_buckets: int, t: int, seed: int = 0) -> list[GenerativeHash]:
     """``t`` independent generative hash functions over ``n_items``."""

@@ -61,6 +61,41 @@ class NeighborHeaps:
         return float(self.scores[u].min())
 
     # ------------------------------------------------------------------
+    # Incremental maintenance (online-update subsystem)
+    # ------------------------------------------------------------------
+
+    def grow(self, n: int) -> None:
+        """Extend to ``n`` rows; new rows start empty."""
+        if n <= self.n:
+            return
+        self.ids = np.vstack(
+            [self.ids, np.full((n - self.n, self.k), EMPTY, dtype=np.int32)]
+        )
+        self.scores = np.vstack(
+            [self.scores, np.full((n - self.n, self.k), -np.inf, dtype=np.float64)]
+        )
+        self.n = int(n)
+
+    def clear_row(self, u: int) -> None:
+        """Empty ``u``'s neighbour list."""
+        self.ids[u].fill(EMPTY)
+        self.scores[u].fill(-np.inf)
+
+    def purge_id(self, v: int) -> np.ndarray:
+        """Remove ``v`` from every neighbour list it appears in.
+
+        Returns the affected rows. A vectorised column sweep — O(n·k)
+        memory traffic but zero similarity evaluations, which is the
+        currency that matters.
+        """
+        mask = self.ids == v
+        rows = np.flatnonzero(mask.any(axis=1))
+        if rows.size:
+            self.ids[mask] = EMPTY
+            self.scores[mask] = -np.inf
+        return rows
+
+    # ------------------------------------------------------------------
 
     def push(self, u: int, v: int, score: float) -> bool:
         """Offer neighbour ``v`` with ``score`` to user ``u``.

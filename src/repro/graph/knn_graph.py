@@ -53,6 +53,43 @@ class KNNGraph:
         """Like :meth:`add_batch` but returns the inserted neighbour ids."""
         return self.heaps.push_batch(u, cands, scores)
 
+    # -- incremental maintenance (online-update subsystem) ---------------
+
+    def grow(self, n_users: int) -> None:
+        """Extend the graph to ``n_users`` nodes (new nodes edgeless)."""
+        self.heaps.grow(n_users)
+
+    def clear_user(self, u: int) -> None:
+        """Drop all outgoing edges of ``u``."""
+        self.heaps.clear_row(u)
+
+    def remove_user(self, u: int) -> np.ndarray:
+        """Detach ``u`` entirely: drop its row and every reverse edge.
+
+        Returns the users that lost ``u`` as a neighbour (their lists
+        are left one short — the online index refills them lazily the
+        next time they are touched by an update).
+        """
+        self.heaps.clear_row(u)
+        return self.heaps.purge_id(u)
+
+    def rescore_user(self, u: int, cands: np.ndarray, scores: np.ndarray) -> None:
+        """Replace ``u``'s neighbourhood with the top-k of ``cands``."""
+        self.heaps.clear_row(u)
+        self.heaps.push_batch(u, cands, scores)
+
+    def offer_reverse(self, source: int, cands: np.ndarray, scores: np.ndarray) -> int:
+        """Offer edge ``v -> source`` to each ``v`` in ``cands``.
+
+        Reuses already-computed similarity values (Jaccard is
+        symmetric), the same no-recompute discipline as the C² merge
+        step; returns the number of lists that changed.
+        """
+        changed = 0
+        for v, s in zip(cands, scores):
+            changed += bool(self.heaps.push(int(v), source, float(s)))
+        return changed
+
     def edge_count(self) -> int:
         """Number of directed edges currently stored."""
         return int((self.heaps.ids != EMPTY).sum())

@@ -42,21 +42,33 @@ def quality(graph: KNNGraph, exact_graph: KNNGraph, dataset: Dataset) -> float:
     return average_similarity(graph, dataset) / denom
 
 
-def edge_recall(graph: KNNGraph, exact_graph: KNNGraph) -> float:
+def edge_recall(
+    graph: KNNGraph, exact_graph: KNNGraph, users: np.ndarray | None = None
+) -> float:
     """Fraction of exact-KNN edges recovered by ``graph``.
 
     A stricter metric than quality: interchangeable neighbours with
     equal similarity count against recall but not against quality.
+    When ``users`` is given, only edges between those users count —
+    the online subsystem scores itself on active (non-removed) users.
     """
     if graph.n_users != exact_graph.n_users:
         raise ValueError("graphs must cover the same users")
+    if users is None:
+        users = np.arange(graph.n_users)
+        keep = None
+    else:
+        users = np.asarray(users, dtype=np.int64)
+        keep = users
     found = 0
     total = 0
-    for u in range(graph.n_users):
-        exact = exact_graph.neighbors(u)
+    for u in users:
+        exact = exact_graph.neighbors(int(u))
+        if keep is not None:
+            exact = exact[np.isin(exact, keep)]
         total += exact.size
         if exact.size:
-            found += int(np.isin(exact, graph.neighbors(u)).sum())
+            found += int(np.isin(exact, graph.neighbors(int(u))).sum())
     return found / total if total else 1.0
 
 

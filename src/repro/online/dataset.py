@@ -1,0 +1,186 @@
+"""Mutable profile store backing the online-update subsystem.
+
+:class:`~repro.data.dataset.Dataset` is an immutable CSR snapshot —
+ideal for the vectorised batch pipeline, wrong for a system where users
+rate new items every second. :class:`MutableDataset` keeps one numpy
+array per user (sorted, unique item ids) so single-profile mutations
+are O(|profile|), while duck-typing the read interface the similarity
+kernels and the clustering step consume (``profile``,
+``profile_sizes``, ``indptr``/``indices``, ``to_csr_matrix``). The CSR
+views are materialised lazily and invalidated on every mutation, so
+batch passes (initial build, :meth:`OnlineIndex.rebuild`) still run at
+full vectorised speed.
+
+Removed users keep their index with an empty profile (tombstones) so
+user ids — and thus graph rows, fingerprints and hash values — stay
+stable for everyone else.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import Dataset
+
+__all__ = ["MutableDataset"]
+
+
+class MutableDataset:
+    """A users/items dataset supporting per-user profile mutation.
+
+    Args:
+        profiles: optional initial per-user item collections.
+        n_items: initial item universe size (grows automatically when
+            larger item ids are added).
+        name: dataset label.
+    """
+
+    def __init__(self, profiles=None, n_items: int = 0, name: str = "online") -> None:
+        self.name = name
+        self._n_items = int(n_items)
+        self._profiles: list[np.ndarray] = []
+        self._active: list[bool] = []
+        self._snapshot: Dataset | None = None
+        self._sizes: np.ndarray | None = None
+        for p in profiles or []:
+            self.add_user(p)
+
+    @classmethod
+    def from_dataset(cls, dataset: Dataset, name: str | None = None) -> "MutableDataset":
+        """Thaw an immutable :class:`Dataset` into a mutable store."""
+        out = cls(n_items=dataset.n_items, name=name or dataset.name)
+        out._profiles = [dataset.profile(u).copy() for u in range(dataset.n_users)]
+        out._active = [True] * dataset.n_users
+        return out
+
+    # ------------------------------------------------------------------
+    # Read interface (Dataset-compatible)
+    # ------------------------------------------------------------------
+
+    @property
+    def n_users(self) -> int:
+        """Number of user slots (tombstones included)."""
+        return len(self._profiles)
+
+    @property
+    def n_items(self) -> int:
+        """Current item universe size (monotonically growing)."""
+        return self._n_items
+
+    @property
+    def n_ratings(self) -> int:
+        """Total number of (user, item) associations."""
+        return int(sum(p.size for p in self._profiles))
+
+    @property
+    def profile_sizes(self) -> np.ndarray:
+        """``|P_u|`` per user slot (0 for removed users)."""
+        if self._sizes is None:
+            self._sizes = np.array([p.size for p in self._profiles], dtype=np.int64)
+        return self._sizes
+
+    def profile(self, user: int) -> np.ndarray:
+        """Sorted item ids of ``user``'s profile (a view, do not mutate)."""
+        return self._profiles[user]
+
+    def profile_set(self, user: int) -> set[int]:
+        """``P_u`` as a Python set."""
+        return set(int(i) for i in self._profiles[user])
+
+    def is_active(self, user: int) -> bool:
+        """False once :meth:`remove_user` tombstoned the slot."""
+        return self._active[user]
+
+    def active_users(self) -> np.ndarray:
+        """Ids of all non-removed users."""
+        return np.flatnonzero(np.array(self._active, dtype=bool)).astype(np.int64)
+
+    def snapshot(self) -> Dataset:
+        """An immutable CSR :class:`Dataset` of the current state.
+
+        Tombstoned users appear with empty profiles so indices line up.
+        The snapshot is cached until the next mutation.
+        """
+        if self._snapshot is None:
+            sizes = self.profile_sizes
+            indptr = np.zeros(self.n_users + 1, dtype=np.int64)
+            np.cumsum(sizes, out=indptr[1:])
+            indices = (
+                np.concatenate(self._profiles).astype(np.int32)
+                if self.n_users and indptr[-1] > 0
+                else np.empty(0, dtype=np.int32)
+            )
+            self._snapshot = Dataset(
+                indptr=indptr, indices=indices, n_items=self._n_items,
+                name=self.name,
+            )
+        return self._snapshot
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR index pointers of the current snapshot."""
+        return self.snapshot().indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """CSR item ids of the current snapshot."""
+        return self.snapshot().indices
+
+    def to_csr_matrix(self):
+        """The binary user x item matrix as ``scipy.sparse.csr_matrix``."""
+        return self.snapshot().to_csr_matrix()
+
+    # ------------------------------------------------------------------
+    # Mutation interface
+    # ------------------------------------------------------------------
+
+    def _clean(self, items) -> np.ndarray:
+        items = np.unique(np.asarray(list(items) if not isinstance(items, np.ndarray) else items, dtype=np.int64))
+        if items.size and items[0] < 0:
+            raise ValueError("item ids must be non-negative")
+        if items.size:
+            self._n_items = max(self._n_items, int(items[-1]) + 1)
+        return items.astype(np.int32)
+
+    def _invalidate(self) -> None:
+        self._snapshot = None
+        self._sizes = None
+
+    def add_user(self, items) -> int:
+        """Append a new user with the given profile; returns her id."""
+        profile = self._clean(items)
+        self._profiles.append(profile)
+        self._active.append(True)
+        self._invalidate()
+        return self.n_users - 1
+
+    def add_items(self, user: int, items) -> np.ndarray:
+        """Add ``items`` to ``user``'s profile.
+
+        Returns the genuinely new item ids (sorted); already-present
+        items are ignored. Raises for tombstoned users.
+        """
+        if not self._active[user]:
+            raise ValueError(f"user {user} was removed")
+        items = self._clean(items)
+        added = np.setdiff1d(items, self._profiles[user], assume_unique=False)
+        if added.size:
+            merged = np.union1d(self._profiles[user], added).astype(np.int32)
+            self._profiles[user] = merged
+            self._invalidate()
+        return added.astype(np.int64)
+
+    def remove_user(self, user: int) -> None:
+        """Tombstone ``user``: empty profile, id kept, flagged inactive."""
+        if not self._active[user]:
+            return
+        self._profiles[user] = np.empty(0, dtype=np.int32)
+        self._active[user] = False
+        self._invalidate()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MutableDataset(name={self.name!r}, users={self.n_users} "
+            f"({len(self.active_users())} active), items={self.n_items}, "
+            f"ratings={self.n_ratings})"
+        )

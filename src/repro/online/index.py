@@ -1,0 +1,285 @@
+"""OnlineIndex — incremental maintenance of a C² KNN graph.
+
+A production KNN service cannot re-run the batch pipeline every time a
+user rates an item or signs up. This module keeps a built
+Cluster-and-Conquer graph fresh under a stream of profile updates:
+
+* ``add_items(user, items)`` — OR the new items into the user's
+  fingerprint (the GoldFinger representation is naturally updatable),
+  re-route the user through the recorded FastRandomHash clustering,
+  and re-score only her candidate edges;
+* ``add_user(profile)`` — grow every layer by one slot and route the
+  newcomer into the ``t`` clusters where her neighbours live;
+* ``remove_user(user)`` — tombstone the profile and detach the node,
+  at zero similarity cost.
+
+Per update, similarities are computed once against a candidate set
+(current cluster members across the ``t`` configurations, previous
+neighbours, and holders of reverse edges) with a single counted
+``one_to_many`` call — O(dirty · k̃) evaluations versus the full
+rebuild's O(n · k̃), where k̃ is the typical cluster size. Both edge
+directions are patched from the same scores, the merge step's
+"never recompute a similarity" discipline.
+
+Clusters drift as users churn; :meth:`OnlineIndex.rebuild` re-runs the
+batch pipeline in place (same engine, same counters) when quality or
+balance matters more than latency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.cluster_and_conquer import cluster_and_conquer
+from ..core.config import C2Params
+from ..graph.heap import EMPTY
+from ..result import BuildResult
+from ..similarity.engine import SimilarityEngine, make_engine
+from .dataset import MutableDataset
+from .router import ClusterRouter
+
+__all__ = ["OnlineIndex"]
+
+
+class OnlineIndex:
+    """An incrementally maintainable Cluster-and-Conquer KNN graph.
+
+    Args:
+        engine: similarity engine over a :class:`MutableDataset` (the
+            mutable store is what makes in-place updates possible).
+        params: C² parameters; must use the ``"frh"`` hash family
+            (MinHash permutations cannot extend to new items).
+        build: a :class:`BuildResult` from
+            ``cluster_and_conquer(engine, params, keep_clustering=True)``
+            to adopt; built fresh when omitted. The graph is taken over
+            and mutated in place.
+    """
+
+    def __init__(
+        self,
+        engine: SimilarityEngine,
+        params: C2Params | None = None,
+        build: BuildResult | None = None,
+    ) -> None:
+        params = params or C2Params()
+        if params.hash_family != "frh":
+            raise ValueError("OnlineIndex requires hash_family='frh'")
+        if not isinstance(engine.dataset, MutableDataset):
+            raise TypeError(
+                "engine must be built over a MutableDataset "
+                "(use OnlineIndex.build(...) or MutableDataset.from_dataset)"
+            )
+        self.engine = engine
+        self.params = params
+        self._data: MutableDataset = engine.dataset
+        if build is None or "clustering" not in build.extra:
+            build = cluster_and_conquer(engine, params, keep_clustering=True)
+        self.build_result = build
+        self.n_updates = 0
+        self.update_comparisons = 0
+        self._install(build)
+
+    @classmethod
+    def build(
+        cls,
+        dataset,
+        params: C2Params | None = None,
+        backend: str = "goldfinger",
+        n_bits: int = 1024,
+        seed: int = 7,
+    ) -> "OnlineIndex":
+        """Build an index from a dataset (frozen datasets are thawed)."""
+        if not isinstance(dataset, MutableDataset):
+            dataset = MutableDataset.from_dataset(dataset)
+        engine = make_engine(dataset, backend=backend, n_bits=n_bits, seed=seed)
+        return cls(engine, params=params)
+
+    # ------------------------------------------------------------------
+    # State derived from a batch build
+    # ------------------------------------------------------------------
+
+    def _install(self, build: BuildResult) -> None:
+        clustering = build.extra["clustering"]
+        self.graph = build.graph
+        self.n_configs = clustering.n_configs
+        self._router = ClusterRouter(build.extra["hashes"], clustering.split_paths)
+        self._members: list[list[int]] = []
+        self._cluster_key: list[tuple[int, tuple]] = []
+        self._assign: list[list[int]] = [
+            [-1] * self.n_configs for _ in range(self._data.n_users)
+        ]
+        for cluster in clustering.clusters:
+            cid = len(self._members)
+            members = [int(u) for u in cluster.users if self._data.is_active(int(u))]
+            self._members.append(members)
+            self._cluster_key.append((cluster.config, cluster.lineage))
+            self._router.register(cluster.config, cluster.lineage, cid)
+            for u in members:
+                self._assign[u][cluster.config] = cid
+        # Tombstoned users must not resurface through a batch rebuild
+        # (empty profiles cluster together on the UNDEFINED hash).
+        # One vectorized sweep detaches all of them at once.
+        active_mask = np.zeros(self._data.n_users, dtype=bool)
+        active_mask[self._data.active_users()] = True
+        inactive = np.flatnonzero(~active_mask)
+        if inactive.size:
+            heaps = self.graph.heaps
+            heaps.ids[inactive] = EMPTY
+            heaps.scores[inactive] = -np.inf
+            stale = np.isin(heaps.ids, inactive)
+            heaps.ids[stale] = EMPTY
+            heaps.scores[stale] = -np.inf
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        """Neighbourhood size of the maintained graph."""
+        return self.graph.k
+
+    @property
+    def n_users(self) -> int:
+        """User slots in the index (tombstones included)."""
+        return self._data.n_users
+
+    @property
+    def dataset(self) -> MutableDataset:
+        """The mutable profile store behind the index."""
+        return self._data
+
+    @property
+    def comparisons(self) -> int:
+        """Total similarity evaluations charged to the engine."""
+        return self.engine.comparisons
+
+    def neighborhood(self, user: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(ids, scores)`` of ``user``'s current neighbours, best first."""
+        return self.graph.neighborhood(user)
+
+    def stats(self) -> dict:
+        """Operational counters for dashboards and tests."""
+        sizes = np.array([len(m) for m in self._members], dtype=np.int64)
+        return {
+            "n_users": self.n_users,
+            "n_active": int(self._data.active_users().size),
+            "n_updates": self.n_updates,
+            "update_comparisons": self.update_comparisons,
+            "build_comparisons": self.build_result.comparisons,
+            "n_clusters": int((sizes > 0).sum()),
+            "max_cluster_size": int(sizes.max()) if sizes.size else 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def add_user(self, items) -> int:
+        """Insert a new user with the given profile; returns her id."""
+        uid = self._data.add_user(items)
+        self.engine.update_profile(uid, None)
+        self.graph.grow(self._data.n_users)
+        self._assign.append([-1] * self.n_configs)
+        self._update(uid)
+        return uid
+
+    def add_items(self, user: int, items) -> np.ndarray:
+        """Add items to ``user``'s profile and refresh her edges.
+
+        Returns the genuinely new item ids; a no-op update (all items
+        already present) costs nothing.
+        """
+        added = self._data.add_items(user, items)
+        if added.size:
+            self.engine.update_profile(user, added)
+            self._update(user)
+        return added
+
+    def remove_user(self, user: int) -> None:
+        """Tombstone ``user`` and detach her node (zero comparisons)."""
+        if not self._data.is_active(user):
+            return
+        self._data.remove_user(user)
+        self.engine.update_profile(user, None)
+        for config, cid in enumerate(self._assign[user]):
+            if cid >= 0:
+                self._members[cid].remove(user)
+            self._assign[user][config] = -1
+        self.graph.remove_user(user)
+
+    def rebuild(self) -> BuildResult:
+        """Re-run the batch pipeline on the current profiles.
+
+        Replaces the graph and the cluster state in place (clusters
+        swollen by churn are re-balanced); the engine and its counters
+        carry over, so the rebuild's cost lands in ``comparisons``.
+        """
+        build = cluster_and_conquer(self.engine, self.params, keep_clustering=True)
+        self.build_result = build
+        self._install(build)
+        return build
+
+    # ------------------------------------------------------------------
+
+    def _update(self, user: int) -> None:
+        """Re-route ``user`` and re-score her candidate edges."""
+        before = self.engine.comparisons
+        profile = self._data.profile(user)
+        self._router.ensure_items(self._data.n_items)
+
+        candidate_pools: list[np.ndarray] = []
+        for config in range(self.n_configs):
+            lineage, cid = self._router.route(config, profile)
+            if cid < 0:
+                cid = len(self._members)
+                self._members.append([])
+                self._cluster_key.append((config, lineage))
+                self._router.register(config, lineage, cid)
+            old = self._assign[user][config]
+            if old != cid:
+                if old >= 0:
+                    self._members[old].remove(user)
+                self._members[cid].append(user)
+                self._assign[user][config] = cid
+            candidate_pools.append(np.array(self._members[cid], dtype=np.int64))
+
+        # Candidate edges: cluster peers across all t configurations,
+        # plus every existing edge touching the user in either
+        # direction (their scores are stale now). Purging the reverse
+        # edges up front doubles as the holder scan — every ex-holder
+        # joins the candidate set and gets a fresh offer below.
+        candidate_pools.append(self.graph.neighbors(user).astype(np.int64))
+        candidate_pools.append(self.graph.heaps.purge_id(user).astype(np.int64))
+        cands = np.unique(np.concatenate(candidate_pools))
+        cands = cands[cands != user]
+
+        if cands.size < self.k:
+            # Cold start: a sparse profile can miss every registered
+            # lineage (all t clusters fresh singletons). Top the pool
+            # up with a bounded random sample so every user leaves an
+            # update with a full neighbourhood to iterate from —
+            # deterministic given the seed and the update sequence.
+            active = self._data.active_users()
+            pool = active[(active != user) & ~np.isin(active, cands)]
+            want = min(2 * self.k - cands.size, pool.size)
+            if want > 0:
+                rng = np.random.default_rng(
+                    (self.params.seed, user, self.n_updates)
+                )
+                extra = rng.choice(pool, size=want, replace=False)
+                cands = np.unique(np.concatenate([cands, extra]))
+
+        if cands.size:
+            sims = self.engine.one_to_many(user, cands)  # the counted cost
+            self.graph.rescore_user(user, cands, sims)
+            # Reverse-edge repair: every ex-holder is in cands, so
+            # re-offering the fresh scores leaves no edge unaccounted
+            # for — and costs no extra similarity evaluations (Jaccard
+            # is symmetric).
+            self.graph.offer_reverse(user, cands, sims)
+        else:
+            self.graph.clear_user(user)
+
+        self.update_comparisons += self.engine.comparisons - before
+        self.n_updates += 1

@@ -1,0 +1,33 @@
+"""Shared bit-table math for compact profile summaries.
+
+GoldFinger fingerprints and Bloom filters scatter the same kind of
+bits: item ``i`` sets bit ``splitmix64(i) mod B``. Both tables keep
+per-item ``(word, mask)`` lookup arrays so single profiles can be
+patched in place; this helper owns the one place that math lives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._mix import splitmix64_array
+
+__all__ = ["item_bit_tables"]
+
+_WORD_BITS = 64
+
+
+def item_bit_tables(start: int, stop: int, n_bits: int, seed: int):
+    """``(words, masks)`` for item ids in ``[start, stop)``.
+
+    ``words[i - start]`` is the uint64-word index and ``masks[i - start]``
+    the single-bit mask of item ``i``'s fingerprint bit. splitmix64
+    hashes each id independently, so tables can be extended by calling
+    this for the new id range only — existing entries never change.
+    """
+    bits = splitmix64_array(
+        np.arange(start, stop, dtype=np.uint64), seed
+    ) % np.uint64(n_bits)
+    words = (bits // _WORD_BITS).astype(np.int64)
+    masks = (np.uint64(1) << (bits % np.uint64(_WORD_BITS))).astype(np.uint64)
+    return words, masks

@@ -17,8 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from .._mix import splitmix64_array
 from ..data.dataset import Dataset
+from ._bits import item_bit_tables
 
 __all__ = ["BloomFilterTable"]
 
@@ -47,18 +47,66 @@ class BloomFilterTable:
         self.n_hashes = int(n_hashes)
         self.seed = int(seed)
 
+        # Per-hash item bit tables, kept for in-place profile updates.
+        self._item_words = [np.empty(0, dtype=np.int64) for _ in range(self.n_hashes)]
+        self._item_masks = [np.empty(0, dtype=np.uint64) for _ in range(self.n_hashes)]
+        self._ensure_items(dataset.n_items)
+
         filters = np.zeros((dataset.n_users, self.n_words), dtype=np.uint64)
         rows = np.repeat(np.arange(dataset.n_users, dtype=np.int64),
                          np.diff(dataset.indptr))
         for j in range(self.n_hashes):
-            bits = splitmix64_array(
-                np.arange(dataset.n_items, dtype=np.uint64), seed + j
-            ) % np.uint64(self.n_bits)
-            words = (bits // _WORD_BITS).astype(np.int64)
-            masks = (np.uint64(1) << (bits % np.uint64(_WORD_BITS))).astype(np.uint64)
-            np.bitwise_or.at(filters, (rows, words[dataset.indices]),
-                             masks[dataset.indices])
+            np.bitwise_or.at(filters, (rows, self._item_words[j][dataset.indices]),
+                             self._item_masks[j][dataset.indices])
         self.filters = filters
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+
+    def _ensure_items(self, n_items: int) -> None:
+        """Extend the per-item bit tables to cover ``n_items`` ids."""
+        old = self._item_words[0].size
+        if n_items <= old:
+            return
+        for j in range(self.n_hashes):
+            words, masks = item_bit_tables(old, n_items, self.n_bits, self.seed + j)
+            self._item_words[j] = np.concatenate([self._item_words[j], words])
+            self._item_masks[j] = np.concatenate([self._item_masks[j], masks])
+
+    def _ensure_users(self, n_users: int) -> None:
+        """Grow the filter table with zero rows up to ``n_users``."""
+        cur = self.filters.shape[0]
+        if n_users <= cur:
+            return
+        pad = np.zeros((n_users - cur, self.n_words), dtype=np.uint64)
+        self.filters = np.vstack([self.filters, pad])
+
+    def add_items(self, user: int, items: np.ndarray) -> None:
+        """OR the bits of ``items`` into ``user``'s filter (O(h·|items|))."""
+        items = np.asarray(items, dtype=np.int64)
+        if items.size == 0:
+            return
+        self._ensure_items(int(items.max()) + 1)
+        self._ensure_users(user + 1)
+        row = self.filters[user]
+        for j in range(self.n_hashes):
+            np.bitwise_or.at(row, self._item_words[j][items], self._item_masks[j][items])
+
+    def set_profile(self, user: int, profile: np.ndarray, n_items: int | None = None) -> None:
+        """Rebuild ``user``'s filter from scratch (non-append change)."""
+        if n_items is not None:
+            self._ensure_items(n_items)
+        self._ensure_users(user + 1)
+        profile = np.asarray(profile, dtype=np.int64)
+        if profile.size:
+            self._ensure_items(int(profile.max()) + 1)
+        row = self.filters[user]
+        row.fill(0)
+        for j in range(self.n_hashes):
+            if profile.size:
+                np.bitwise_or.at(row, self._item_words[j][profile],
+                                 self._item_masks[j][profile])
 
     # ------------------------------------------------------------------
 

@@ -98,6 +98,33 @@ class SimilarityEngine(ABC):
         self._charge(n * (n - 1) // 2)
         return self._matrix(users)
 
+    # -- incremental updates --------------------------------------------
+
+    def update_profile(self, user: int, added_items: np.ndarray | None = None) -> None:
+        """Notify the engine that ``user``'s profile changed in the dataset.
+
+        The dataset the engine was built over must already reflect the
+        change (the online subsystem mutates its
+        :class:`~repro.online.MutableDataset` first, then calls this).
+
+        Args:
+            user: the dirty user. May be a brand-new index one past the
+                previously known users — engines grow their per-user
+                state to cover it.
+            added_items: sorted item ids that were *appended* to the
+                profile. ``None`` signals an arbitrary change (new user,
+                removal, rewrite): engines rebuild that user's state
+                from the dataset instead of patching it in place.
+
+        Updates are not counted as similarity evaluations; they are the
+        O(|update|) maintenance cost the GoldFinger representation makes
+        cheap (OR a few bits), which is the point of the subsystem.
+        """
+        self._update_profile(int(user), added_items)
+
+    def _update_profile(self, user: int, added_items: np.ndarray | None) -> None:
+        """Backend hook; default engines keep no per-user caches."""
+
     def block(self, us: np.ndarray, vs: np.ndarray, counted: bool = True) -> np.ndarray:
         """Similarity block of shape ``(len(us), len(vs))``.
 
@@ -142,6 +169,9 @@ class ExactEngine(SimilarityEngine):
             self._csr = self.dataset.to_csr_matrix()
         return self._csr
 
+    def _update_profile(self, user: int, added_items: np.ndarray | None) -> None:
+        self._csr = None  # raw profiles are read live; only the cache is stale
+
     def _pair(self, u: int, v: int) -> float:
         a, b = self.dataset.profile(u), self.dataset.profile(v)
         return jaccard_pair(a, b) if self.metric == "jaccard" else cosine_pair(a, b)
@@ -181,6 +211,14 @@ class GoldFingerEngine(SimilarityEngine):
         """Fingerprint width in bits."""
         return self.goldfinger.n_bits
 
+    def _update_profile(self, user: int, added_items: np.ndarray | None) -> None:
+        if added_items is not None:
+            self.goldfinger.add_items(user, added_items)
+        else:
+            self.goldfinger.set_profile(
+                user, self.dataset.profile(user), n_items=self.dataset.n_items
+            )
+
     def _pair(self, u: int, v: int) -> float:
         return self.goldfinger.estimate_pair(u, v)
 
@@ -208,6 +246,14 @@ class BloomEngine(SimilarityEngine):
         self.bloom = BloomFilterTable(
             dataset, n_bits=n_bits, n_hashes=n_hashes, seed=seed
         )
+
+    def _update_profile(self, user: int, added_items: np.ndarray | None) -> None:
+        if added_items is not None:
+            self.bloom.add_items(user, added_items)
+        else:
+            self.bloom.set_profile(
+                user, self.dataset.profile(user), n_items=self.dataset.n_items
+            )
 
     def _pair(self, u: int, v: int) -> float:
         return self.bloom.estimate_pair(u, v)

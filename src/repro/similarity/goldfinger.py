@@ -19,8 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from .._mix import splitmix64_array
 from ..data.dataset import Dataset
+from ._bits import item_bit_tables
 
 __all__ = ["GoldFinger"]
 
@@ -44,18 +44,78 @@ class GoldFinger:
         self.n_words = self.n_bits // _WORD_BITS
         self.seed = int(seed)
 
-        # Hash every item id once, then scatter bits per profile.
-        item_bits = splitmix64_array(np.arange(dataset.n_items, dtype=np.uint64), seed) % np.uint64(self.n_bits)
-        words = (item_bits // _WORD_BITS).astype(np.int64)
-        masks = (np.uint64(1) << (item_bits % np.uint64(_WORD_BITS))).astype(np.uint64)
+        # Hash every item id once, then scatter bits per profile. The
+        # per-item tables are kept so single profiles can be patched
+        # in place later (the online-update path).
+        self._item_words = np.empty(0, dtype=np.int64)
+        self._item_masks = np.empty(0, dtype=np.uint64)
+        self._ensure_items(dataset.n_items)
 
         fp = np.zeros((dataset.n_users, self.n_words), dtype=np.uint64)
-        item_words = words[dataset.indices]
-        item_masks = masks[dataset.indices]
+        item_words = self._item_words[dataset.indices]
+        item_masks = self._item_masks[dataset.indices]
         rows = np.repeat(np.arange(dataset.n_users, dtype=np.int64), np.diff(dataset.indptr))
         np.bitwise_or.at(fp, (rows, item_words), item_masks)
         self.fingerprints = fp
         self._sizes = np.bitwise_count(fp).sum(axis=1).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+
+    def _ensure_items(self, n_items: int) -> None:
+        """Extend the per-item bit tables to cover ``n_items`` ids.
+
+        splitmix64 hashes each id independently, so extending the table
+        leaves existing fingerprints byte-identical.
+        """
+        old = self._item_words.size
+        if n_items <= old:
+            return
+        words, masks = item_bit_tables(old, n_items, self.n_bits, self.seed)
+        self._item_words = np.concatenate([self._item_words, words])
+        self._item_masks = np.concatenate([self._item_masks, masks])
+
+    def _ensure_users(self, n_users: int) -> None:
+        """Grow the fingerprint table with zero rows up to ``n_users``."""
+        cur = self.fingerprints.shape[0]
+        if n_users <= cur:
+            return
+        pad = np.zeros((n_users - cur, self.n_words), dtype=np.uint64)
+        self.fingerprints = np.vstack([self.fingerprints, pad])
+        self._sizes = np.concatenate(
+            [self._sizes, np.zeros(n_users - cur, dtype=np.int64)]
+        )
+
+    def add_items(self, user: int, items: np.ndarray) -> None:
+        """OR the bits of ``items`` into ``user``'s fingerprint.
+
+        The natural SHF update: an append-only profile change costs
+        O(|items|) regardless of profile or dataset size.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        if items.size == 0:
+            return
+        self._ensure_items(int(items.max()) + 1)
+        self._ensure_users(user + 1)
+        row = self.fingerprints[user]
+        np.bitwise_or.at(row, self._item_words[items], self._item_masks[items])
+        self._sizes[user] = int(np.bitwise_count(row).sum())
+
+    def set_profile(self, user: int, profile: np.ndarray, n_items: int | None = None) -> None:
+        """Rebuild ``user``'s fingerprint from scratch (new user,
+        removal, or a non-append rewrite — bits cannot be un-ORed)."""
+        if n_items is not None:
+            self._ensure_items(n_items)
+        self._ensure_users(user + 1)
+        profile = np.asarray(profile, dtype=np.int64)
+        if profile.size:
+            self._ensure_items(int(profile.max()) + 1)
+        row = self.fingerprints[user]
+        row.fill(0)
+        if profile.size:
+            np.bitwise_or.at(row, self._item_words[profile], self._item_masks[profile])
+        self._sizes[user] = int(np.bitwise_count(row).sum())
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,288 @@
+"""Tests for the online-update subsystem (repro.online)."""
+
+import numpy as np
+import pytest
+
+from repro import C2Params, cluster_and_conquer, make_engine
+from repro.core import cluster_dataset, make_hash_family
+from repro.data import Dataset, SyntheticSpec, generate
+from repro.graph.heap import EMPTY
+from repro.online import ClusterRouter, MutableDataset, OnlineIndex
+from repro.similarity import BloomEngine, ExactEngine, GoldFingerEngine
+
+
+def _params(**kw):
+    base = dict(k=8, n_buckets=64, n_hashes=4, split_threshold=80, seed=1)
+    base.update(kw)
+    return C2Params(**base)
+
+
+class TestMutableDataset:
+    def test_from_dataset_roundtrip(self, small_dataset):
+        data = MutableDataset.from_dataset(small_dataset)
+        assert data.n_users == small_dataset.n_users
+        assert data.n_items == small_dataset.n_items
+        snap = data.snapshot()
+        assert np.array_equal(snap.indptr, small_dataset.indptr)
+        assert np.array_equal(snap.indices, small_dataset.indices)
+
+    def test_add_user(self):
+        data = MutableDataset(n_items=10)
+        uid = data.add_user([3, 1, 3, 7])
+        assert uid == 0
+        assert list(data.profile(0)) == [1, 3, 7]
+        assert data.n_users == 1
+
+    def test_add_items_returns_only_new(self):
+        data = MutableDataset(profiles=[[1, 2, 3]], n_items=10)
+        added = data.add_items(0, [2, 3, 4, 5])
+        assert list(added) == [4, 5]
+        assert list(data.profile(0)) == [1, 2, 3, 4, 5]
+        assert data.add_items(0, [1]).size == 0
+
+    def test_item_universe_grows(self):
+        data = MutableDataset(profiles=[[1]], n_items=2)
+        data.add_items(0, [9])
+        assert data.n_items == 10
+        assert data.snapshot().n_items == 10
+
+    def test_remove_user_tombstones(self):
+        data = MutableDataset(profiles=[[1, 2], [3]], n_items=5)
+        data.remove_user(0)
+        assert not data.is_active(0)
+        assert data.profile(0).size == 0
+        assert data.n_users == 2  # id space unchanged
+        assert list(data.active_users()) == [1]
+        with pytest.raises(ValueError):
+            data.add_items(0, [4])
+
+    def test_snapshot_cache_invalidated(self):
+        data = MutableDataset(profiles=[[1, 2]], n_items=5)
+        s1 = data.snapshot()
+        data.add_items(0, [3])
+        s2 = data.snapshot()
+        assert s1.n_ratings == 2 and s2.n_ratings == 3
+
+    def test_profile_sizes_track_mutations(self):
+        data = MutableDataset(profiles=[[1], [2, 3]], n_items=5)
+        assert list(data.profile_sizes) == [1, 2]
+        data.add_items(0, [4])
+        assert list(data.profile_sizes) == [2, 2]
+
+
+class TestEngineUpdateHooks:
+    """update_profile must leave the engine exactly as a fresh build."""
+
+    def _fresh_like(self, engine, snap):
+        if isinstance(engine, GoldFingerEngine):
+            return GoldFingerEngine(snap, n_bits=engine.n_bits, seed=engine.goldfinger.seed)
+        if isinstance(engine, BloomEngine):
+            return BloomEngine(snap, n_bits=engine.bloom.n_bits,
+                               n_hashes=engine.bloom.n_hashes, seed=engine.bloom.seed)
+        return ExactEngine(snap, metric=engine.metric)
+
+    @pytest.mark.parametrize("backend", ["exact", "goldfinger", "bloom"])
+    def test_add_items_matches_fresh_engine(self, backend):
+        data = MutableDataset(profiles=[[0, 1, 2], [2, 3], [4, 5, 6]], n_items=8)
+        engine = make_engine(data, backend=backend, n_bits=128)
+        added = data.add_items(0, [7])
+        engine.update_profile(0, added)
+        fresh = self._fresh_like(engine, data.snapshot())
+        others = np.array([1, 2])
+        assert engine.one_to_many(0, others) == pytest.approx(
+            fresh.one_to_many(0, others)
+        )
+
+    @pytest.mark.parametrize("backend", ["exact", "goldfinger", "bloom"])
+    def test_new_user_matches_fresh_engine(self, backend):
+        data = MutableDataset(profiles=[[0, 1, 2], [2, 3]], n_items=8)
+        engine = make_engine(data, backend=backend, n_bits=128)
+        uid = data.add_user([1, 2, 7])
+        engine.update_profile(uid, None)
+        fresh = self._fresh_like(engine, data.snapshot())
+        others = np.array([0, 1])
+        assert engine.one_to_many(uid, others) == pytest.approx(
+            fresh.one_to_many(uid, others)
+        )
+
+    @pytest.mark.parametrize("backend", ["exact", "goldfinger", "bloom"])
+    def test_removal_zeroes_similarity(self, backend):
+        data = MutableDataset(profiles=[[0, 1, 2], [1, 2, 3]], n_items=8)
+        engine = make_engine(data, backend=backend, n_bits=128)
+        assert engine.pair(0, 1) > 0
+        data.remove_user(1)
+        engine.update_profile(1, None)
+        assert engine.pair(0, 1) == 0.0
+
+    def test_updates_are_not_counted(self):
+        data = MutableDataset(profiles=[[0, 1], [2, 3]], n_items=8)
+        engine = make_engine(data, backend="goldfinger", n_bits=128)
+        engine.update_profile(0, data.add_items(0, [5]))
+        assert engine.comparisons == 0
+
+
+class TestClusterRouter:
+    def test_routes_existing_users_to_their_cluster(self, small_dataset):
+        """Replaying the split descent must land every user in exactly
+        the cluster the batch run put them in."""
+        hashes = make_hash_family(small_dataset.n_items, 32, 4, seed=3)
+        clustering = cluster_dataset(small_dataset, hashes, split_threshold=25)
+        router = ClusterRouter(hashes, clustering.split_paths)
+        member_sets = []
+        for cid, cluster in enumerate(clustering.clusters):
+            router.register(cluster.config, cluster.lineage, cid)
+            member_sets.append(set(int(u) for u in cluster.users))
+
+        for config in range(clustering.n_configs):
+            for u in range(small_dataset.n_users):
+                _, cid = router.route(config, small_dataset.profile(u))
+                assert cid >= 0 and u in member_sets[cid]
+
+    def test_unknown_lineage_reports_miss(self):
+        hashes = make_hash_family(10, 1024, 1, seed=0)
+        router = ClusterRouter(hashes)
+        lineage, cid = router.route(0, np.array([4]))
+        assert cid == -1 and len(lineage) == 1 and lineage[0] >= 1
+
+    def test_hash_tables_extend_for_new_items(self):
+        hashes = make_hash_family(5, 16, 1, seed=0)
+        router = ClusterRouter(hashes)
+        router.ensure_items(50)
+        lineage, _ = router.route(0, np.array([42]))
+        assert 1 <= lineage[0] <= 16
+
+
+@pytest.fixture(scope="module")
+def online_index(small_dataset):
+    index = OnlineIndex.build(small_dataset, params=_params())
+    rng = np.random.default_rng(0)
+    while index.n_updates < 30:  # no-op adds (item already rated) don't count
+        u = int(rng.choice(index.dataset.active_users()))
+        index.add_items(u, [int(rng.integers(0, small_dataset.n_items))])
+    return index
+
+
+class TestOnlineIndex:
+    def test_requires_frh(self, small_dataset):
+        with pytest.raises(ValueError):
+            OnlineIndex.build(small_dataset, params=_params(hash_family="minhash"))
+
+    def test_requires_mutable_dataset(self, small_dataset):
+        engine = make_engine(small_dataset)
+        with pytest.raises(TypeError):
+            OnlineIndex(engine, params=_params())
+
+    def test_graph_consistency_after_updates(self, online_index):
+        ids = online_index.graph.heaps.ids
+        n = online_index.n_users
+        for u in range(n):
+            row = ids[u][ids[u] != EMPTY]
+            assert u not in row  # no self loops
+            assert np.unique(row).size == row.size  # no duplicates
+            assert row.size == 0 or (row >= 0).all() and (row < n).all()
+
+    def test_scores_match_engine(self, online_index):
+        """Every stored edge score equals the engine's current estimate."""
+        heaps = online_index.graph.heaps
+        rng = np.random.default_rng(1)
+        for u in rng.choice(online_index.n_users, size=20, replace=False):
+            row, scores = online_index.graph.neighborhood(int(u))
+            if row.size == 0:
+                continue
+            fresh = online_index.engine.one_to_many(int(u), row)
+            assert scores == pytest.approx(fresh)
+
+    def test_add_user_connects_newcomer(self, small_dataset):
+        index = OnlineIndex.build(small_dataset, params=_params())
+        # clone an existing user's profile: the twin must become a top neighbour
+        twin_of = 7
+        uid = index.add_user(small_dataset.profile(twin_of))
+        assert uid == small_dataset.n_users
+        ids, scores = index.neighborhood(uid)
+        assert twin_of in ids
+        assert scores[list(ids).index(twin_of)] == pytest.approx(1.0)
+        # both directions exist
+        assert uid in index.graph.neighbors(twin_of)
+
+    def test_remove_user_detaches_node(self, small_dataset):
+        index = OnlineIndex.build(small_dataset, params=_params())
+        before = index.engine.comparisons
+        index.remove_user(3)
+        assert index.engine.comparisons == before  # removal is free
+        assert index.graph.neighbors(3).size == 0
+        assert not (index.graph.heaps.ids == 3).any()
+        # idempotent
+        index.remove_user(3)
+        # and the slot never resurfaces in later updates
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            u = int(rng.choice(index.dataset.active_users()))
+            index.add_items(u, [int(rng.integers(0, small_dataset.n_items))])
+        assert not (index.graph.heaps.ids == 3).any()
+
+    def test_noop_update_costs_nothing(self, small_dataset):
+        index = OnlineIndex.build(small_dataset, params=_params())
+        before = index.engine.comparisons
+        added = index.add_items(5, small_dataset.profile(5))  # already present
+        assert added.size == 0
+        assert index.engine.comparisons == before
+
+    def test_deterministic(self, small_dataset):
+        def run():
+            index = OnlineIndex.build(small_dataset, params=_params())
+            rng = np.random.default_rng(9)
+            for _ in range(20):
+                u = int(rng.choice(index.dataset.active_users()))
+                index.add_items(u, [int(rng.integers(0, small_dataset.n_items))])
+            index.add_user([1, 2, 3])
+            index.remove_user(0)
+            return index
+
+        a, b = run(), run()
+        assert np.array_equal(a.graph.heaps.ids, b.graph.heaps.ids)
+        assert a.update_comparisons == b.update_comparisons
+
+    def test_rebuild_rebalances_in_place(self, small_dataset):
+        index = OnlineIndex.build(small_dataset, params=_params())
+        rng = np.random.default_rng(2)
+        for _ in range(15):
+            index.add_user(rng.integers(0, small_dataset.n_items, size=20))
+        index.remove_user(1)
+        build = index.rebuild()
+        assert index.build_result is build
+        assert index.n_users == small_dataset.n_users + 15
+        # tombstone stays detached through the rebuild
+        assert index.graph.neighbors(1).size == 0
+        assert not (index.graph.heaps.ids == 1).any()
+
+    def test_stats_counters(self, online_index):
+        stats = online_index.stats()
+        assert stats["n_updates"] == 30
+        assert stats["update_comparisons"] > 0
+        assert stats["n_clusters"] > 0
+
+
+class TestUpdateBudget:
+    """Acceptance criterion: 100 single-item updates on 5k users cost
+    < 5% of a from-scratch rebuild's similarity evaluations."""
+
+    def test_100_updates_under_5_percent_of_rebuild(self):
+        spec = SyntheticSpec(
+            name="s5k", n_users=5000, n_items=4000, mean_profile_size=40.0,
+            n_communities=40, community_pool_size=200, min_profile_size=15,
+        )
+        dataset = generate(spec, seed=11)
+        params = C2Params(k=10, n_buckets=1024, n_hashes=4,
+                          split_threshold=300, seed=1)
+        index = OnlineIndex.build(dataset, params=params)
+
+        rng = np.random.default_rng(2)
+        while index.n_updates < 100:  # retry no-op adds (item already rated)
+            u = int(rng.integers(0, dataset.n_users))
+            index.add_items(u, [int(rng.integers(0, dataset.n_items))])
+        assert index.n_updates == 100
+
+        rebuild = cluster_and_conquer(
+            make_engine(index.dataset.snapshot()), params
+        )
+        assert index.update_comparisons < 0.05 * rebuild.comparisons

@@ -1,0 +1,154 @@
+"""Property tests for the online-update subsystem.
+
+Hypothesis-style randomized sequences with fixed seeds (the repo has
+no hypothesis dependency): generate arbitrary interleavings of
+``add_items`` / ``add_user`` / ``remove_user``, then assert invariants
+that must hold for *every* sequence — graph well-formedness, score
+freshness, and the headline property: recall against brute-force
+ground truth stays within a fixed margin of what a cold batch rebuild
+achieves on the same final profiles.
+"""
+
+import numpy as np
+import pytest
+
+from repro import C2Params, cluster_and_conquer, edge_recall, make_engine
+from repro.baselines import brute_force_knn
+from repro.graph.heap import EMPTY
+from repro.online import OnlineIndex
+from repro.similarity import ExactEngine
+
+RECALL_MARGIN = 0.10
+K = 8
+
+
+def _params(seed=1):
+    return C2Params(k=K, n_buckets=64, n_hashes=4, split_threshold=80, seed=seed)
+
+
+def _random_sequence(index, rng, n_ops):
+    """Apply a random stream of updates; returns op counts."""
+    counts = {"add_items": 0, "add_user": 0, "remove_user": 0}
+    n_items = index.dataset.n_items
+    for _ in range(n_ops):
+        active = index.dataset.active_users()
+        op = rng.random()
+        if op < 0.70 and active.size:
+            user = int(rng.choice(active))
+            batch = rng.integers(0, n_items, size=int(rng.integers(1, 4)))
+            if index.add_items(user, batch).size:
+                counts["add_items"] += 1
+        elif op < 0.85:
+            size = int(rng.integers(5, 40))
+            index.add_user(rng.integers(0, n_items, size=size))
+            counts["add_user"] += 1
+        elif active.size > 50:  # keep the population from draining
+            index.remove_user(int(rng.choice(active)))
+            counts["remove_user"] += 1
+    return counts
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_recall_within_margin_of_cold_rebuild(small_dataset, seed):
+    """After any random update sequence, the maintained graph's recall
+    must stay within RECALL_MARGIN of a from-scratch rebuild's."""
+    index = OnlineIndex.build(small_dataset, params=_params())
+    rng = np.random.default_rng(seed)
+    counts = _random_sequence(index, rng, n_ops=60)
+    assert sum(counts.values()) > 0
+
+    snapshot = index.dataset.snapshot()
+    active = index.dataset.active_users()
+    exact = brute_force_knn(ExactEngine(snapshot), k=K).graph
+    cold = cluster_and_conquer(make_engine(snapshot), _params())
+
+    online_recall = edge_recall(index.graph, exact, users=active)
+    cold_recall = edge_recall(cold.graph, exact, users=active)
+    assert online_recall >= cold_recall - RECALL_MARGIN
+
+
+@pytest.mark.parametrize("seed", [3, 4])
+def test_graph_invariants_after_any_sequence(small_dataset, seed):
+    index = OnlineIndex.build(small_dataset, params=_params())
+    rng = np.random.default_rng(seed)
+    _random_sequence(index, rng, n_ops=50)
+
+    heaps = index.graph.heaps
+    active = set(int(u) for u in index.dataset.active_users())
+    for u in range(index.n_users):
+        row = heaps.ids[u]
+        occupied = row[row != EMPTY]
+        # no self-loops, no duplicates, ids in range
+        assert u not in occupied
+        assert np.unique(occupied).size == occupied.size
+        assert occupied.size == 0 or (
+            occupied.min() >= 0 and occupied.max() < index.n_users
+        )
+        # tombstoned users have no edges in either direction
+        if u not in active:
+            assert occupied.size == 0
+        assert not any(int(v) not in active for v in occupied)
+        # occupied slots carry finite scores, empty slots -inf
+        assert np.isfinite(heaps.scores[u][row != EMPTY]).all()
+        assert (heaps.scores[u][row == EMPTY] == -np.inf).all()
+
+
+@pytest.mark.parametrize("seed", [5, 6])
+def test_scores_stay_fresh_after_any_sequence(small_dataset, seed):
+    """Stored edge scores always equal the engine's current estimate —
+    no stale similarity survives an update touching its endpoint."""
+    index = OnlineIndex.build(small_dataset, params=_params())
+    rng = np.random.default_rng(seed)
+    _random_sequence(index, rng, n_ops=40)
+
+    active = index.dataset.active_users()
+    for u in rng.choice(active, size=min(25, active.size), replace=False):
+        ids, scores = index.graph.neighborhood(int(u))
+        if ids.size:
+            assert scores == pytest.approx(index.engine.one_to_many(int(u), ids))
+
+
+def test_membership_partition_invariant(small_dataset):
+    """Every active user sits in exactly one cluster per configuration,
+    and the assignment tables agree with the member lists."""
+    index = OnlineIndex.build(small_dataset, params=_params())
+    rng = np.random.default_rng(7)
+    _random_sequence(index, rng, n_ops=50)
+
+    per_config_members: list[dict[int, int]] = [
+        {} for _ in range(index.n_configs)
+    ]
+    for cid, members in enumerate(index._members):
+        config = index._cluster_key[cid][0]
+        for u in members:
+            assert u not in per_config_members[config], "user in two clusters"
+            per_config_members[config][u] = cid
+
+    active = set(int(u) for u in index.dataset.active_users())
+    for u in range(index.n_users):
+        for config in range(index.n_configs):
+            cid = index._assign[u][config]
+            if u in active:
+                assert per_config_members[config].get(u) == cid
+            else:
+                assert cid == -1
+
+
+def test_equivalent_to_batch_build_on_same_profiles(small_dataset):
+    """An index that ingested users one by one must reach the same
+    quality ballpark as one built in batch: sanity that incremental
+    state does not diverge structurally."""
+    params = _params()
+    batch = OnlineIndex.build(small_dataset, params=params)
+
+    # start from the first 200 users, stream in the remaining 100
+    first = small_dataset.subset(np.arange(200), name="warm")
+    index = OnlineIndex.build(first, params=params)
+    for u in range(200, small_dataset.n_users):
+        index.add_user(small_dataset.profile(u))
+    assert index.n_users == small_dataset.n_users
+
+    exact = brute_force_knn(ExactEngine(small_dataset), k=K).graph
+    streamed = edge_recall(index.graph, exact)
+    batched = edge_recall(batch.graph, exact)
+    assert streamed >= batched - RECALL_MARGIN

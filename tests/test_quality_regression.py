@@ -1,0 +1,64 @@
+"""Regression pins for C² graph quality on the synthetic workload.
+
+Timing-only tests cannot catch a change that silently degrades the
+graphs C² produces (a broken hash family, a lossy merge, a mis-seeded
+solver all still *run* fast). These tests pin recall and quality
+against stored floors measured on the seed implementation; the
+pipeline is deterministic given the seed, so the floors sit a few
+points under the measured values (seed=1: GoldFinger recall 0.468,
+quality 0.896; exact recall 0.504, quality 0.922) and only genuine
+quality regressions can cross them.
+"""
+
+import pytest
+
+from repro import C2Params, cluster_and_conquer, make_engine
+from repro.baselines import brute_force_knn
+from repro.graph import edge_recall, quality
+from repro.similarity import ExactEngine
+
+K = 10
+
+# Stored floors: measured value minus a safety margin for numeric
+# drift across platforms. A failure here means C² got *worse*.
+FLOORS = {
+    "goldfinger": {"recall": 0.44, "quality": 0.87},
+    "exact": {"recall": 0.47, "quality": 0.90},
+}
+
+
+@pytest.fixture(scope="module")
+def exact_graph(medium_dataset):
+    return brute_force_knn(ExactEngine(medium_dataset), k=K).graph
+
+
+def _params():
+    return C2Params(k=K, n_buckets=32, n_hashes=6, split_threshold=100, seed=1)
+
+
+@pytest.mark.parametrize("backend", ["goldfinger", "exact"])
+def test_c2_recall_and_quality_floor(medium_dataset, exact_graph, backend):
+    engine = (
+        make_engine(medium_dataset, n_bits=1024)
+        if backend == "goldfinger"
+        else ExactEngine(medium_dataset)
+    )
+    result = cluster_and_conquer(engine, _params())
+    floors = FLOORS[backend]
+
+    recall = edge_recall(result.graph, exact_graph)
+    q = quality(result.graph, exact_graph, medium_dataset)
+    assert recall >= floors["recall"], (
+        f"C2/{backend} recall regressed: {recall:.3f} < {floors['recall']}"
+    )
+    assert q >= floors["quality"], (
+        f"C2/{backend} quality regressed: {q:.3f} < {floors['quality']}"
+    )
+
+
+def test_c2_beats_brute_force_cost(medium_dataset):
+    """The quality floor is meaningless if C² stops being cheap: keep
+    the comparison budget pinned too (well under half of brute force)."""
+    n = medium_dataset.n_users
+    result = cluster_and_conquer(make_engine(medium_dataset, n_bits=1024), _params())
+    assert result.comparisons < 0.5 * (n * (n - 1) // 2)

@@ -5,7 +5,10 @@ import threading
 import numpy as np
 import pytest
 
-from repro.core import Cluster, makespan_lower_bound, run_clusters
+from repro.core import Cluster, makespan_lower_bound, run_clusters, solve_cluster
+from repro.core.clustering import cluster_dataset
+from repro.core.hashing import make_hash_family
+from repro.similarity import ExactEngine
 
 
 def _mk_clusters(sizes):
@@ -62,6 +65,66 @@ class TestRunClusters:
 
         with pytest.raises(RuntimeError, match="solver failed"):
             run_clusters(_mk_clusters([1]), boom, n_workers=2)
+
+
+class TestConcurrentSolvers:
+    """run_clusters with a real engine-backed solver under contention:
+    ordering guarantees and comparison accounting must survive threads."""
+
+    @pytest.fixture(scope="class")
+    def clustering(self, small_dataset):
+        hashes = make_hash_family(small_dataset.n_items, 32, 4, seed=5)
+        return cluster_dataset(small_dataset, hashes, split_threshold=60)
+
+    def _solve_all(self, dataset, clustering, n_workers):
+        engine = ExactEngine(dataset)
+        partials = run_clusters(
+            clustering.clusters,
+            lambda c: solve_cluster(engine, c.users, k=5, seed=7),
+            n_workers=n_workers,
+        )
+        return engine.comparisons, partials
+
+    def test_results_in_input_order_under_contention(self, small_dataset, clustering):
+        serial_count, serial = self._solve_all(small_dataset, clustering, 1)
+        parallel_count, parallel = self._solve_all(small_dataset, clustering, 4)
+        # results must line up with the input clusters, not finish order
+        for cluster, partial in zip(clustering.clusters, parallel):
+            assert np.array_equal(partial.users, cluster.users)
+        # and be identical to the serial run, heap for heap
+        for a, b in zip(serial, parallel):
+            assert np.array_equal(a.ids, b.ids)
+            assert np.array_equal(a.scores, b.scores)
+
+    def test_comparison_counts_identical_to_serial(self, small_dataset, clustering):
+        """The engine's lock-protected counter must not lose increments
+        under parallel charging (the paper's cost metric is exact)."""
+        serial_count, _ = self._solve_all(small_dataset, clustering, 1)
+        for n_workers in (2, 4):
+            parallel_count, _ = self._solve_all(small_dataset, clustering, n_workers)
+            assert parallel_count == serial_count
+
+    def test_largest_first_start_order_under_parallelism(self):
+        """The first n_workers clusters to *start* must be the largest
+        ones: the pool drains the submission queue in sorted order."""
+        sizes = [3, 40, 8, 25, 1, 16]
+        clusters = [
+            Cluster(users=np.arange(s), config=0, eta=i + 1)
+            for i, s in enumerate(sizes)
+        ]
+        started: list[int] = []
+        lock = threading.Lock()
+        gate = threading.Barrier(2, timeout=5)
+
+        def solve(cluster):
+            with lock:
+                started.append(cluster.size)
+            gate.wait()  # hold both workers until each recorded a start
+            return cluster.size
+
+        out = run_clusters(clusters, solve, n_workers=2)
+        assert out == sizes  # input order preserved
+        assert set(started[:2]) == {40, 25}  # two largest started first
 
 
 class TestMakespan:
