@@ -13,7 +13,18 @@ Quickstart::
     print(result.graph.neighborhood(0))
 """
 
-from . import baselines, bench, core, data, distributed, graph, online, recommend, similarity
+from . import (
+    baselines,
+    bench,
+    core,
+    data,
+    distributed,
+    graph,
+    online,
+    recommend,
+    serve,
+    similarity,
+)
 from .baselines import (
     BuildResult,
     brute_force_knn,
@@ -25,6 +36,7 @@ from .core import C2Params, cluster_and_conquer, paper_params
 from .data import Dataset
 from .graph import KNNGraph, average_similarity, edge_recall, quality
 from .online import MutableDataset, OnlineIndex
+from .serve import GraphSearcher, QueryEngine, Recommender, SearchResult
 from .similarity import ExactEngine, GoldFingerEngine, SimilarityEngine, make_engine
 
 __version__ = "1.0.0"
@@ -35,9 +47,13 @@ __all__ = [
     "Dataset",
     "ExactEngine",
     "GoldFingerEngine",
+    "GraphSearcher",
     "KNNGraph",
     "MutableDataset",
     "OnlineIndex",
+    "QueryEngine",
+    "Recommender",
+    "SearchResult",
     "SimilarityEngine",
     "average_similarity",
     "baselines",
@@ -57,5 +73,6 @@ __all__ = [
     "paper_params",
     "quality",
     "recommend",
+    "serve",
     "similarity",
 ]

@@ -10,6 +10,9 @@ Commands:
 * ``recall`` — run the Table III recommendation protocol.
 * ``update-demo`` — stream profile updates through an ``OnlineIndex``
   and report the incremental cost vs a from-scratch rebuild.
+* ``serve-demo`` — answer out-of-sample top-k queries through the
+  serving subsystem and report QPS, latency percentiles, recall vs
+  brute force and the fraction of similarities evaluated.
 
 Examples::
 
@@ -18,12 +21,14 @@ Examples::
     python -m repro build --dataset AM --algo Hyrec --k 20
     python -m repro recall --dataset ml1M --folds 5
     python -m repro update-demo --dataset ml1M --updates 200
+    python -m repro serve-demo --dataset ml1M --queries 200
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 import numpy as np
 
@@ -35,6 +40,7 @@ from .core import cluster_and_conquer
 from .data import dataset_names, describe, load, load_dataset
 from .online import OnlineIndex
 from .recommend import evaluate_recall
+from .serve import GraphSearcher, QueryEngine, brute_force_top_k
 from .similarity import ExactEngine, make_engine
 
 __all__ = ["main"]
@@ -150,6 +156,64 @@ def _cmd_update_demo(args) -> int:
     return 0
 
 
+def _cmd_serve_demo(args) -> int:
+    dataset = _load_dataset(args)
+    workload = Workload(dataset=args.dataset, scale=args.scale, k=args.k, seed=args.seed)
+    index = OnlineIndex.build(dataset, params=workload.c2_params)
+    searcher = GraphSearcher(index, ef=args.ef, budget=args.budget)
+    queries = QueryEngine(index, k=args.topk, searcher=searcher)
+
+    # Out-of-sample query profiles: partial histories of real users (a
+    # visitor who rated a subset of what an indexed user rated), drawn
+    # from a pool smaller than the stream so the cache sees repeats.
+    rng = np.random.default_rng(args.seed)
+    pool = []
+    for _ in range(max(1, args.queries // 4)):
+        base = dataset.profile(int(rng.integers(0, dataset.n_users)))
+        keep = rng.random(base.size) > 0.3
+        pool.append(base[keep] if keep.any() else base)
+    stream = [pool[int(rng.integers(0, len(pool)))] for _ in range(args.queries)]
+
+    latencies = []
+    t0 = time.perf_counter()
+    for profile in stream:
+        t1 = time.perf_counter()
+        queries.search(profile)
+        latencies.append(time.perf_counter() - t1)
+    wall = time.perf_counter() - t0
+    latencies = np.array(latencies) * 1e3
+
+    n_active = index.dataset.active_users().size
+    sample = pool[: min(50, len(pool))]
+    recalls, evals = [], []
+    for profile in sample:
+        res = searcher.top_k(profile, k=args.topk)
+        ref = brute_force_top_k(index.engine, profile, k=args.topk)
+        recalls.append(float(np.isin(ref.ids, res.ids).mean()))
+        evals.append(res.evaluations)
+    stats = queries.stats()
+    print(
+        format_table(
+            [
+                {
+                    "QPS": f"{args.queries / wall:.0f}",
+                    "p50 (ms)": f"{np.percentile(latencies, 50):.2f}",
+                    "p95 (ms)": f"{np.percentile(latencies, 95):.2f}",
+                    f"Recall@{args.topk}": f"{np.mean(recalls):.3f}",
+                    "Evals/query": f"{np.mean(evals):.0f}",
+                    "vs brute force": f"{np.mean(evals) / n_active:.1%}",
+                    "Cache hits": f"{stats['cache_hits']}/{stats['n_queries']}",
+                }
+            ],
+            title=(
+                f"serving {args.queries} queries over {dataset.name} "
+                f"({n_active} users, k={args.topk})"
+            ),
+        )
+    )
+    return 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Cluster-and-Conquer KNN graph toolkit"
@@ -191,6 +255,18 @@ def _build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--updates", type=int, default=100)
     p.set_defaults(fn=_cmd_update_demo)
+
+    p = sub.add_parser(
+        "serve-demo",
+        help="serve out-of-sample top-k queries and report QPS/recall/cost",
+    )
+    common(p)
+    p.add_argument("--queries", type=int, default=200)
+    p.add_argument("--topk", type=int, default=10)
+    p.add_argument("--ef", type=int, default=32)
+    p.add_argument("--budget", type=int, default=None,
+                   help="hard cap on similarity evaluations per query")
+    p.set_defaults(fn=_cmd_serve_demo)
 
     return parser
 

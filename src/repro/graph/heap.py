@@ -30,8 +30,14 @@ class NeighborHeaps:
             raise ValueError("k must be >= 1")
         self.n = int(n)
         self.k = int(k)
-        self.ids = np.full((n, k), EMPTY, dtype=np.int32)
-        self.scores = np.full((n, k), -np.inf, dtype=np.float64)
+        # ``ids``/``scores`` are views into capacity buffers so that
+        # per-signup growth is amortized O(1): the buffers double when
+        # exhausted instead of reallocating on every new row.
+        self._ids_buf = np.full((n, k), EMPTY, dtype=np.int32)
+        self._scores_buf = np.full((n, k), -np.inf, dtype=np.float64)
+        self.ids = self._ids_buf[: self.n]
+        self.scores = self._scores_buf[: self.n]
+        self.reallocations = 0
 
     # ------------------------------------------------------------------
 
@@ -65,16 +71,26 @@ class NeighborHeaps:
     # ------------------------------------------------------------------
 
     def grow(self, n: int) -> None:
-        """Extend to ``n`` rows; new rows start empty."""
+        """Extend to ``n`` rows; new rows start empty.
+
+        Amortized: the backing buffers double when exhausted, so ``m``
+        one-row grows cost O(log m) reallocations (regression-tested;
+        the per-signup reallocation was an O(m·n·k) aggregate sink).
+        """
         if n <= self.n:
             return
-        self.ids = np.vstack(
-            [self.ids, np.full((n - self.n, self.k), EMPTY, dtype=np.int32)]
-        )
-        self.scores = np.vstack(
-            [self.scores, np.full((n - self.n, self.k), -np.inf, dtype=np.float64)]
-        )
+        cap = self._ids_buf.shape[0]
+        if n > cap:
+            new_cap = max(int(n), 2 * cap, 8)
+            ids_buf = np.full((new_cap, self.k), EMPTY, dtype=np.int32)
+            ids_buf[: self.n] = self.ids
+            scores_buf = np.full((new_cap, self.k), -np.inf, dtype=np.float64)
+            scores_buf[: self.n] = self.scores
+            self._ids_buf, self._scores_buf = ids_buf, scores_buf
+            self.reallocations += 1
         self.n = int(n)
+        self.ids = self._ids_buf[: self.n]
+        self.scores = self._scores_buf[: self.n]
 
     def clear_row(self, u: int) -> None:
         """Empty ``u``'s neighbour list."""

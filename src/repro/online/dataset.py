@@ -42,6 +42,7 @@ class MutableDataset:
         self._active: list[bool] = []
         self._snapshot: Dataset | None = None
         self._sizes: np.ndarray | None = None
+        self._mask: np.ndarray | None = None
         for p in profiles or []:
             self.add_user(p)
 
@@ -91,9 +92,19 @@ class MutableDataset:
         """False once :meth:`remove_user` tombstoned the slot."""
         return self._active[user]
 
+    def active_mask(self) -> np.ndarray:
+        """Boolean mask over user slots, True for non-removed users.
+
+        Cached until the next mutation — the serving path filters
+        candidate arrays against it on every search hop.
+        """
+        if self._mask is None:
+            self._mask = np.array(self._active, dtype=bool)
+        return self._mask
+
     def active_users(self) -> np.ndarray:
         """Ids of all non-removed users."""
-        return np.flatnonzero(np.array(self._active, dtype=bool)).astype(np.int64)
+        return np.flatnonzero(self.active_mask()).astype(np.int64)
 
     def snapshot(self) -> Dataset:
         """An immutable CSR :class:`Dataset` of the current state.
@@ -145,6 +156,7 @@ class MutableDataset:
     def _invalidate(self) -> None:
         self._snapshot = None
         self._sizes = None
+        self._mask = None
 
     def add_user(self, items) -> int:
         """Append a new user with the given profile; returns her id."""

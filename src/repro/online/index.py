@@ -77,6 +77,10 @@ class OnlineIndex:
         self.build_result = build
         self.n_updates = 0
         self.update_comparisons = 0
+        self.refill_comparisons = 0
+        self.version = 0
+        self._listeners: list = []
+        self._refiller = None  # lazily-built GraphSearcher (serve subsystem)
         self._install(build)
 
     @classmethod
@@ -103,6 +107,7 @@ class OnlineIndex:
         self.graph = build.graph
         self.n_configs = clustering.n_configs
         self._router = ClusterRouter(build.extra["hashes"], clustering.split_paths)
+        self._degraded: set[int] = set()
         self._members: list[list[int]] = []
         self._cluster_key: list[tuple[int, tuple]] = []
         self._assign: list[list[int]] = [
@@ -155,8 +160,106 @@ class OnlineIndex:
         return self.engine.comparisons
 
     def neighborhood(self, user: int) -> tuple[np.ndarray, np.ndarray]:
-        """``(ids, scores)`` of ``user``'s current neighbours, best first."""
+        """``(ids, scores)`` of ``user``'s current neighbours, best first.
+
+        Reading a row that lost edges to :meth:`remove_user` triggers
+        a lazy refill first (see :meth:`refill`), so callers always
+        observe a repaired neighbourhood without removals paying an
+        eager all-rows repair cost.
+        """
+        if user in self._degraded:
+            self.refill(user)
         return self.graph.neighborhood(user)
+
+    @property
+    def degraded(self) -> frozenset:
+        """Rows currently one-or-more edges short after removals."""
+        return frozenset(self._degraded)
+
+    # ------------------------------------------------------------------
+    # Mutation listeners (cache invalidation for the serving layer)
+    # ------------------------------------------------------------------
+
+    def subscribe(self, callback) -> None:
+        """Register ``callback(event, user)`` to run after every mutation.
+
+        Events: ``add_user``, ``add_items``, ``remove_user``,
+        ``refill``, ``rebuild``. ``repro.serve.QueryEngine`` wires its
+        result-cache invalidation through this hook.
+        """
+        self._listeners.append(callback)
+
+    def unsubscribe(self, callback) -> None:
+        """Remove a previously registered mutation listener."""
+        self._listeners.remove(callback)
+
+    def _notify(self, event: str, user: int) -> None:
+        self.version += 1
+        for callback in list(self._listeners):
+            callback(event, user)
+
+    # ------------------------------------------------------------------
+    # Read-side support (query-serving subsystem)
+    # ------------------------------------------------------------------
+
+    def seed_candidates(self, profile, per_config: int = 16) -> np.ndarray:
+        """Entry points for a graph search on an arbitrary profile.
+
+        Routes the profile through the recorded FastRandomHash
+        clustering (one :class:`ClusterRouter` descent per
+        configuration) and returns up to ``per_config`` members of each
+        destination cluster — the users a batch run would have compared
+        the profile against. Oversized clusters are subsampled
+        deterministically (evenly spaced members) so repeated searches
+        are reproducible. Routing is read-only: unknown lineages are
+        reported as misses, never opened, and items outside the
+        dataset's universe are ignored — they carry no routing signal,
+        and extending the hash tables to an arbitrary query id would
+        permanently allocate O(max item id) memory on a read.
+        """
+        profile = np.unique(np.asarray(profile, dtype=np.int64))
+        profile = profile[profile < self._data.n_items]
+        self._router.ensure_items(self._data.n_items)
+        pools: list[np.ndarray] = []
+        for config in range(self.n_configs):
+            _, cid = self._router.route(config, profile)
+            if cid < 0:
+                continue
+            members = self._members[cid]
+            if len(members) > per_config:
+                step = len(members) // per_config
+                members = members[:: max(1, step)][:per_config]
+            pools.append(np.asarray(members, dtype=np.int64))
+        if not pools:
+            return np.empty(0, dtype=np.int64)
+        seeds = np.unique(np.concatenate(pools))
+        return seeds[self._data.active_mask()[seeds]]
+
+    def refill(self, user: int) -> None:
+        """Repair a neighbour list degraded by :meth:`remove_user`.
+
+        Runs a :class:`~repro.serve.GraphSearcher` self-query seeded
+        from the row's surviving edges and merges the results back in
+        — the counted cost lands in ``refill_comparisons``. No-op for
+        rows that are not flagged degraded.
+        """
+        self._degraded.discard(user)
+        if not self._data.is_active(user):
+            return
+        from ..serve.searcher import GraphSearcher  # deferred: serve imports online
+
+        if self._refiller is None:
+            self._refiller = GraphSearcher(self)
+        before = self.engine.comparisons
+        result = self._refiller.top_k(
+            self._data.profile(user),
+            k=self.k,
+            exclude=(user,),
+            extra_seeds=self.graph.neighbors(user),
+        )
+        self.graph.add_batch(user, result.ids, result.scores)
+        self.refill_comparisons += self.engine.comparisons - before
+        self._notify("refill", user)
 
     def stats(self) -> dict:
         """Operational counters for dashboards and tests."""
@@ -166,9 +269,12 @@ class OnlineIndex:
             "n_active": int(self._data.active_users().size),
             "n_updates": self.n_updates,
             "update_comparisons": self.update_comparisons,
+            "refill_comparisons": self.refill_comparisons,
             "build_comparisons": self.build_result.comparisons,
             "n_clusters": int((sizes > 0).sum()),
             "max_cluster_size": int(sizes.max()) if sizes.size else 0,
+            "n_degraded": len(self._degraded),
+            "version": self.version,
         }
 
     # ------------------------------------------------------------------
@@ -182,6 +288,7 @@ class OnlineIndex:
         self.graph.grow(self._data.n_users)
         self._assign.append([-1] * self.n_configs)
         self._update(uid)
+        self._notify("add_user", uid)
         return uid
 
     def add_items(self, user: int, items) -> np.ndarray:
@@ -194,6 +301,7 @@ class OnlineIndex:
         if added.size:
             self.engine.update_profile(user, added)
             self._update(user)
+            self._notify("add_items", user)
         return added
 
     def remove_user(self, user: int) -> None:
@@ -206,7 +314,13 @@ class OnlineIndex:
             if cid >= 0:
                 self._members[cid].remove(user)
             self._assign[user][config] = -1
-        self.graph.remove_user(user)
+        losers = self.graph.remove_user(user)
+        # Rows that lost an edge stay one short until someone reads
+        # them — the lazy-refill contract (see neighborhood/refill).
+        active = self._data.active_mask()
+        self._degraded.update(int(v) for v in losers if active[v])
+        self._degraded.discard(user)
+        self._notify("remove_user", user)
 
     def rebuild(self) -> BuildResult:
         """Re-run the batch pipeline on the current profiles.
@@ -218,12 +332,14 @@ class OnlineIndex:
         build = cluster_and_conquer(self.engine, self.params, keep_clustering=True)
         self.build_result = build
         self._install(build)
+        self._notify("rebuild", -1)
         return build
 
     # ------------------------------------------------------------------
 
     def _update(self, user: int) -> None:
         """Re-route ``user`` and re-score her candidate edges."""
+        self._degraded.discard(user)  # the full rescore below repairs the row
         before = self.engine.comparisons
         profile = self._data.profile(user)
         self._router.ensure_items(self._data.n_items)

@@ -1,6 +1,6 @@
 """Recommendation application: user-based CF + recall evaluation."""
 
-from .cf import recommend_all, recommend_items
+from .cf import recommend_all, recommend_from_neighbors, recommend_items
 from .evaluation import RecallResult, evaluate_recall, recall_at
 
 __all__ = [
@@ -8,5 +8,6 @@ __all__ = [
     "evaluate_recall",
     "recall_at",
     "recommend_all",
+    "recommend_from_neighbors",
     "recommend_items",
 ]

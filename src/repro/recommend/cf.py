@@ -14,7 +14,37 @@ import numpy as np
 from ..data.dataset import Dataset
 from ..graph.knn_graph import KNNGraph
 
-__all__ = ["recommend_items", "recommend_all"]
+__all__ = ["recommend_from_neighbors", "recommend_items", "recommend_all"]
+
+
+def recommend_from_neighbors(
+    dataset: Dataset,
+    profile: np.ndarray,
+    neighbor_ids: np.ndarray,
+    neighbor_scores: np.ndarray,
+    n_recommendations: int = 30,
+) -> np.ndarray:
+    """Top items for a profile, scored by neighbour-similarity sums.
+
+    The scoring core shared by the graph-based path
+    (:func:`recommend_items`) and the query-serving path, where the
+    neighbours come from a :class:`~repro.serve.GraphSearcher` answer
+    for a profile that need not belong to any indexed user. Items
+    already in the profile are excluded; items with zero score are
+    never recommended.
+    """
+    profile = np.asarray(profile, dtype=np.int64)
+    scores = np.zeros(dataset.n_items, dtype=np.float64)
+    for v, s in zip(neighbor_ids, neighbor_scores):
+        if s > 0:
+            scores[dataset.profile(int(v))] += s
+    scores[profile[profile < dataset.n_items]] = 0.0
+    candidates = np.flatnonzero(scores > 0)
+    if candidates.size == 0:
+        return np.empty(0, dtype=np.int64)
+    take = min(n_recommendations, candidates.size)
+    top = candidates[np.argpartition(-scores[candidates], take - 1)[:take]]
+    return top[np.argsort(-scores[top], kind="stable")]
 
 
 def recommend_items(
@@ -23,24 +53,11 @@ def recommend_items(
     user: int,
     n_recommendations: int = 30,
 ) -> np.ndarray:
-    """Top items for ``user``, scored by neighbour-similarity sums.
-
-    Items already in the user's profile are excluded. Returns at most
-    ``n_recommendations`` item ids, best first (items with zero score
-    are never recommended).
-    """
+    """Top items for an indexed ``user``, from their graph neighbours."""
     nbrs, sims = graph.neighborhood(user)
-    scores = np.zeros(dataset.n_items, dtype=np.float64)
-    for v, s in zip(nbrs, sims):
-        if s > 0:
-            scores[dataset.profile(int(v))] += s
-    scores[dataset.profile(user)] = 0.0
-    candidates = np.flatnonzero(scores > 0)
-    if candidates.size == 0:
-        return np.empty(0, dtype=np.int64)
-    take = min(n_recommendations, candidates.size)
-    top = candidates[np.argpartition(-scores[candidates], take - 1)[:take]]
-    return top[np.argsort(-scores[top], kind="stable")]
+    return recommend_from_neighbors(
+        dataset, dataset.profile(user), nbrs, sims, n_recommendations
+    )
 
 
 def recommend_all(

@@ -1,0 +1,196 @@
+"""Batched query serving: dedup, result caching, sync + async APIs.
+
+:class:`GraphSearcher` answers one query; :class:`QueryEngine` turns it
+into a service front end:
+
+* **batching** — ``search_many`` serves a list of concurrent queries
+  and the :meth:`QueryEngine.search_async` entry point coalesces
+  concurrent ``await``-ers into one batch per event-loop tick;
+* **deduplication** — identical profiles inside a batch are searched
+  once, so a thundering herd of the same query charges the engine a
+  single time;
+* **an LRU result cache** whose entries are stamped with the index's
+  mutation version and dropped by an invalidation hook wired to
+  :meth:`~repro.online.OnlineIndex.subscribe` — a cached answer is
+  never served across a mutation, the "no stale neighbours" contract
+  the property tests enforce.
+
+All similarity spending still flows through the engine's ``charge()``
+protocol; the cache saves whole queries, not accounting accuracy.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+
+import numpy as np
+
+from ..online.index import OnlineIndex
+from .searcher import GraphSearcher, SearchResult
+
+__all__ = ["QueryEngine"]
+
+
+class QueryEngine:
+    """Serves top-k queries over an :class:`OnlineIndex`.
+
+    Args:
+        index: the maintained index to serve from.
+        k: default neighbours per query.
+        cache_size: maximum cached results (LRU eviction); 0 disables
+            caching.
+        searcher: a configured :class:`GraphSearcher` to use (one with
+            default parameters is built otherwise).
+    """
+
+    def __init__(
+        self,
+        index: OnlineIndex,
+        *,
+        k: int = 10,
+        cache_size: int = 1024,
+        searcher: GraphSearcher | None = None,
+    ) -> None:
+        self.index = index
+        self.searcher = searcher or GraphSearcher(index)
+        self.default_k = int(k)
+        self.cache_size = int(cache_size)
+        self._cache: OrderedDict[tuple, tuple[int, SearchResult]] = OrderedDict()
+        self.n_queries = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.dedup_hits = 0
+        self.invalidations = 0
+        self._pending: list[tuple[object, int | None, asyncio.Future]] = []
+        self._flush_task: asyncio.Task | None = None
+        index.subscribe(self._on_mutation)
+
+    def close(self) -> None:
+        """Detach the invalidation hook from the index."""
+        self.index.unsubscribe(self._on_mutation)
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+
+    def _on_mutation(self, event: str, user: int) -> None:
+        """Index mutation hook: every cached answer is now suspect."""
+        if self._cache:
+            self.invalidations += len(self._cache)
+            self._cache.clear()
+
+    def _lookup(self, key: tuple) -> SearchResult | None:
+        entry = self._cache.get(key)
+        if entry is None:
+            return None
+        version, result = entry
+        if version != self.index.version:
+            # Belt and braces: a mutation that somehow bypassed the
+            # hook (e.g. a listener detached by close()) still cannot
+            # serve a stale answer — entries are version-stamped.
+            del self._cache[key]
+            self.invalidations += 1
+            return None
+        self._cache.move_to_end(key)
+        return result
+
+    def _store(self, key: tuple, result: SearchResult) -> None:
+        if self.cache_size <= 0:
+            return
+        self._cache[key] = (self.index.version, result)
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Sync entry points
+    # ------------------------------------------------------------------
+
+    def search(self, profile, k: int | None = None) -> SearchResult:
+        """Top-k neighbours of one profile (cached)."""
+        return self.search_many([profile], k=k)[0]
+
+    def search_many(self, profiles, k: int | None = None) -> list[SearchResult]:
+        """Serve a batch of queries.
+
+        Cache hits are answered immediately; the misses are
+        deduplicated by canonical profile (identical profiles are
+        searched once) and evaluated through the :class:`GraphSearcher`.
+        Results come back in request order.
+        """
+        k = int(k if k is not None else self.default_k)
+        results: list[SearchResult | None] = [None] * len(profiles)
+        canon: list[np.ndarray] = []
+        misses: OrderedDict[tuple, list[int]] = OrderedDict()
+        for pos, profile in enumerate(profiles):
+            ids = np.unique(np.asarray(profile, dtype=np.int64))
+            canon.append(ids)
+            key = (ids.tobytes(), k)
+            hit = self._lookup(key)
+            if hit is not None:
+                self.cache_hits += 1
+                results[pos] = hit
+            else:
+                misses.setdefault(key, []).append(pos)
+        self.n_queries += len(profiles)
+        for key, positions in misses.items():
+            result = self.searcher.top_k(canon[positions[0]], k=k)
+            self.cache_misses += 1
+            self.dedup_hits += len(positions) - 1
+            self._store(key, result)
+            for pos in positions:
+                results[pos] = result
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Async entry point
+    # ------------------------------------------------------------------
+
+    async def search_async(self, profile, k: int | None = None) -> SearchResult:
+        """Awaitable :meth:`search`; concurrent callers share a batch.
+
+        Every caller that is already scheduled when the flush task runs
+        (e.g. all coroutines of one ``asyncio.gather``) lands in the
+        same ``search_many`` batch and benefits from its deduplication.
+        """
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((profile, k, future))
+        if self._flush_task is None or self._flush_task.done():
+            self._flush_task = loop.create_task(self._flush_pending())
+        return await future
+
+    async def _flush_pending(self) -> None:
+        await asyncio.sleep(0)  # let every scheduled caller enqueue first
+        while self._pending:
+            batch, self._pending = self._pending, []
+            groups: dict[int, list[tuple[object, asyncio.Future]]] = {}
+            for profile, k, future in batch:
+                kk = int(k if k is not None else self.default_k)
+                groups.setdefault(kk, []).append((profile, future))
+            for kk, items in groups.items():
+                try:
+                    outs = self.search_many([p for p, _ in items], k=kk)
+                except Exception as exc:  # pragma: no cover - defensive
+                    for _, future in items:
+                        if not future.done():
+                            future.set_exception(exc)
+                else:
+                    for (_, future), out in zip(items, outs):
+                        if not future.done():
+                            future.set_result(out)
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Operational counters for dashboards and tests."""
+        return {
+            "n_queries": self.n_queries,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "dedup_hits": self.dedup_hits,
+            "invalidations": self.invalidations,
+            "cached_entries": len(self._cache),
+            "index_version": self.index.version,
+        }

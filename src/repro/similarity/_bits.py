@@ -12,9 +12,23 @@ import numpy as np
 
 from .._mix import splitmix64_array
 
-__all__ = ["item_bit_tables"]
+__all__ = ["item_bit_tables", "item_bits_for"]
 
 _WORD_BITS = 64
+
+
+def item_bits_for(ids: np.ndarray, n_bits: int, seed: int):
+    """``(words, masks)`` for an arbitrary array of item ids.
+
+    Identical math to :func:`item_bit_tables` but computed on the fly —
+    for scoring query profiles that mention items outside the stored
+    universe without growing the shared lookup tables (a read must not
+    permanently allocate O(max item id) memory).
+    """
+    bits = splitmix64_array(ids.astype(np.uint64), seed) % np.uint64(n_bits)
+    words = (bits // _WORD_BITS).astype(np.int64)
+    masks = (np.uint64(1) << (bits % np.uint64(_WORD_BITS))).astype(np.uint64)
+    return words, masks
 
 
 def item_bit_tables(start: int, stop: int, n_bits: int, seed: int):

@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.dataset import Dataset
-from ._bits import item_bit_tables
+from ._bits import item_bit_tables, item_bits_for
 
 __all__ = ["BloomFilterTable"]
 
@@ -58,7 +58,11 @@ class BloomFilterTable:
         for j in range(self.n_hashes):
             np.bitwise_or.at(filters, (rows, self._item_words[j][dataset.indices]),
                              self._item_masks[j][dataset.indices])
-        self.filters = filters
+        # ``filters`` is a view into a capacity buffer; growth doubles
+        # the buffer so m signups cost O(log m) reallocations.
+        self._buf = filters
+        self.filters = self._buf[: dataset.n_users]
+        self.reallocations = 0
 
     # ------------------------------------------------------------------
     # Incremental maintenance
@@ -75,12 +79,22 @@ class BloomFilterTable:
             self._item_masks[j] = np.concatenate([self._item_masks[j], masks])
 
     def _ensure_users(self, n_users: int) -> None:
-        """Grow the filter table with zero rows up to ``n_users``."""
+        """Grow the filter table with zero rows up to ``n_users``.
+
+        Amortized via geometric buffer doubling, like the fingerprint
+        and neighbour-heap tables.
+        """
         cur = self.filters.shape[0]
         if n_users <= cur:
             return
-        pad = np.zeros((n_users - cur, self.n_words), dtype=np.uint64)
-        self.filters = np.vstack([self.filters, pad])
+        cap = self._buf.shape[0]
+        if n_users > cap:
+            new_cap = max(n_users, 2 * cap, 8)
+            buf = np.zeros((new_cap, self.n_words), dtype=np.uint64)
+            buf[:cur] = self.filters
+            self._buf = buf
+            self.reallocations += 1
+        self.filters = self._buf[:n_users]
 
     def add_items(self, user: int, items: np.ndarray) -> None:
         """OR the bits of ``items`` into ``user``'s filter (O(h·|items|))."""
@@ -120,8 +134,33 @@ class BloomFilterTable:
         """Estimated Jaccard similarity between users ``u`` and ``v``."""
         return float(self.estimate_one_to_many(u, np.array([v]))[0])
 
+    def filter_profile(self, profile: np.ndarray) -> np.ndarray:
+        """Bloom filter of an arbitrary item-set profile (not stored).
+
+        Lets the query-serving path estimate out-of-index profiles
+        against stored filters. Items outside the stored universe are
+        hashed on the fly so a read never grows the shared item tables.
+        """
+        profile = np.asarray(profile, dtype=np.int64)
+        row = np.zeros(self.n_words, dtype=np.uint64)
+        known = profile[profile < self._item_words[0].size]
+        unseen = profile[profile >= self._item_words[0].size]
+        for j in range(self.n_hashes):
+            if known.size:
+                np.bitwise_or.at(row, self._item_words[j][known],
+                                 self._item_masks[j][known])
+            if unseen.size:
+                words, masks = item_bits_for(unseen, self.n_bits, self.seed + j)
+                np.bitwise_or.at(row, words, masks)
+        return row
+
     def estimate_one_to_many(self, user: int, others: np.ndarray) -> np.ndarray:
-        """Estimated Jaccard of ``user`` against each user in ``others``.
+        """Estimated Jaccard of ``user`` against each user in ``others``."""
+        return self.estimate_filter_one_to_many(self.filters[user], others)
+
+    def estimate_filter_one_to_many(self, filter_row: np.ndarray,
+                                    others: np.ndarray) -> np.ndarray:
+        """Estimated Jaccard of a filter row vs each user in ``others``.
 
         Uses ``J = (|A| + |B| - |A ∪ B|) / |A ∪ B|`` with all three
         cardinalities estimated from filter popcounts — the standard
@@ -130,7 +169,7 @@ class BloomFilterTable:
         others = np.asarray(others, dtype=np.int64)
         if others.size == 0:
             return np.empty(0, dtype=np.float64)
-        a = self.filters[user]
+        a = filter_row
         rows = self.filters[others]
         ones_a = float(np.bitwise_count(a).sum())
         ones_b = np.bitwise_count(rows).sum(axis=1).astype(np.float64)

@@ -25,7 +25,7 @@ from ..data.dataset import Dataset
 from .bloom import BloomFilterTable
 from .cosine import cosine_matrix, cosine_one_to_many, cosine_pair
 from .goldfinger import GoldFinger
-from .jaccard import jaccard_one_to_many, jaccard_pair
+from .jaccard import jaccard_one_to_many, jaccard_pair, profile_intersections
 
 __all__ = [
     "SimilarityEngine",
@@ -97,6 +97,39 @@ class SimilarityEngine(ABC):
         n = users.size
         self._charge(n * (n - 1) // 2)
         return self._matrix(users)
+
+    # -- out-of-index queries (query-serving subsystem) -----------------
+
+    def prepare_query(self, profile) -> object:
+        """Prepare an arbitrary item-set profile for repeated scoring.
+
+        The returned handle is backend-specific (raw ids for exact
+        engines, a fingerprint/filter row for compact ones) and is
+        consumed by :meth:`query_many`. Preparation is O(|profile|)
+        maintenance work, not a similarity evaluation, so it is not
+        counted — exactly like :meth:`update_profile`.
+        """
+        profile = np.unique(np.asarray(profile, dtype=np.int64))
+        if profile.size and profile[0] < 0:
+            raise ValueError("item ids must be non-negative")
+        return self._prepare_query(profile)
+
+    def query_many(self, query: object, users: np.ndarray) -> np.ndarray:
+        """Similarity of a prepared query profile vs each of ``users``.
+
+        Counted as ``len(users)`` evaluations — a served query spends
+        from the same budget the build and update paths do, which is
+        what lets benchmarks report "fraction of a brute-force query".
+        """
+        users = np.asarray(users, dtype=np.int64)
+        self._charge(users.size)
+        return self._query_many(query, users)
+
+    def _prepare_query(self, profile: np.ndarray) -> object:
+        return profile
+
+    @abstractmethod
+    def _query_many(self, query: object, users: np.ndarray) -> np.ndarray: ...
 
     # -- incremental updates --------------------------------------------
 
@@ -172,6 +205,18 @@ class ExactEngine(SimilarityEngine):
     def _update_profile(self, user: int, added_items: np.ndarray | None) -> None:
         self._csr = None  # raw profiles are read live; only the cache is stale
 
+    def _query_many(self, query: object, users: np.ndarray) -> np.ndarray:
+        profile: np.ndarray = query
+        inter, sizes = profile_intersections(self.dataset, profile, users)
+        if self.metric == "jaccard":
+            denom = profile.size + sizes - inter
+        else:
+            denom = np.sqrt(float(profile.size) * sizes)
+        out = np.zeros(users.size, dtype=np.float64)
+        nz = denom > 0
+        out[nz] = inter[nz] / denom[nz]
+        return out
+
     def _pair(self, u: int, v: int) -> float:
         a, b = self.dataset.profile(u), self.dataset.profile(v)
         return jaccard_pair(a, b) if self.metric == "jaccard" else cosine_pair(a, b)
@@ -219,6 +264,12 @@ class GoldFingerEngine(SimilarityEngine):
                 user, self.dataset.profile(user), n_items=self.dataset.n_items
             )
 
+    def _prepare_query(self, profile: np.ndarray) -> object:
+        return self.goldfinger.fingerprint_profile(profile)
+
+    def _query_many(self, query: object, users: np.ndarray) -> np.ndarray:
+        return self.goldfinger.estimate_fp_one_to_many(query, users)
+
     def _pair(self, u: int, v: int) -> float:
         return self.goldfinger.estimate_pair(u, v)
 
@@ -254,6 +305,12 @@ class BloomEngine(SimilarityEngine):
             self.bloom.set_profile(
                 user, self.dataset.profile(user), n_items=self.dataset.n_items
             )
+
+    def _prepare_query(self, profile: np.ndarray) -> object:
+        return self.bloom.filter_profile(profile)
+
+    def _query_many(self, query: object, users: np.ndarray) -> np.ndarray:
+        return self.bloom.estimate_filter_one_to_many(query, users)
 
     def _pair(self, u: int, v: int) -> float:
         return self.bloom.estimate_pair(u, v)

@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.dataset import Dataset
-from ._bits import item_bit_tables
+from ._bits import item_bit_tables, item_bits_for
 
 __all__ = ["GoldFinger"]
 
@@ -56,8 +56,14 @@ class GoldFinger:
         item_masks = self._item_masks[dataset.indices]
         rows = np.repeat(np.arange(dataset.n_users, dtype=np.int64), np.diff(dataset.indptr))
         np.bitwise_or.at(fp, (rows, item_words), item_masks)
-        self.fingerprints = fp
-        self._sizes = np.bitwise_count(fp).sum(axis=1).astype(np.int64)
+        # The public ``fingerprints``/``_sizes`` arrays are views into
+        # capacity buffers so per-signup growth is amortized O(1)
+        # (geometric doubling) instead of one reallocation per user.
+        self._fp_buf = fp
+        self._sizes_buf = np.bitwise_count(fp).sum(axis=1).astype(np.int64)
+        self.fingerprints = self._fp_buf[: dataset.n_users]
+        self._sizes = self._sizes_buf[: dataset.n_users]
+        self.reallocations = 0
 
     # ------------------------------------------------------------------
     # Incremental maintenance
@@ -77,15 +83,25 @@ class GoldFinger:
         self._item_masks = np.concatenate([self._item_masks, masks])
 
     def _ensure_users(self, n_users: int) -> None:
-        """Grow the fingerprint table with zero rows up to ``n_users``."""
+        """Grow the fingerprint table with zero rows up to ``n_users``.
+
+        Amortized: the backing buffer doubles when exhausted, so ``m``
+        consecutive signups trigger O(log m) reallocations, not m.
+        """
         cur = self.fingerprints.shape[0]
         if n_users <= cur:
             return
-        pad = np.zeros((n_users - cur, self.n_words), dtype=np.uint64)
-        self.fingerprints = np.vstack([self.fingerprints, pad])
-        self._sizes = np.concatenate(
-            [self._sizes, np.zeros(n_users - cur, dtype=np.int64)]
-        )
+        cap = self._fp_buf.shape[0]
+        if n_users > cap:
+            new_cap = max(n_users, 2 * cap, 8)
+            fp_buf = np.zeros((new_cap, self.n_words), dtype=np.uint64)
+            fp_buf[:cur] = self.fingerprints
+            sizes_buf = np.zeros(new_cap, dtype=np.int64)
+            sizes_buf[:cur] = self._sizes
+            self._fp_buf, self._sizes_buf = fp_buf, sizes_buf
+            self.reallocations += 1
+        self.fingerprints = self._fp_buf[:n_users]
+        self._sizes = self._sizes_buf[:n_users]
 
     def add_items(self, user: int, items: np.ndarray) -> None:
         """OR the bits of ``items`` into ``user``'s fingerprint.
@@ -137,13 +153,36 @@ class GoldFinger:
 
     def estimate_one_to_many(self, user: int, others: np.ndarray) -> np.ndarray:
         """Estimated Jaccard of ``user`` against each user in ``others``."""
+        return self.estimate_fp_one_to_many(self.fingerprints[user], others)
+
+    def fingerprint_profile(self, profile: np.ndarray) -> np.ndarray:
+        """Fingerprint an arbitrary item-set profile without storing it.
+
+        The query-serving path: out-of-index profiles are summarised
+        once, then estimated against stored fingerprints like any user.
+        Items outside the stored universe are hashed on the fly — a
+        read-only query must not grow the shared item tables (which
+        would permanently allocate O(max item id) memory).
+        """
+        profile = np.asarray(profile, dtype=np.int64)
+        row = np.zeros(self.n_words, dtype=np.uint64)
+        known = profile[profile < self._item_words.size]
+        if known.size:
+            np.bitwise_or.at(row, self._item_words[known], self._item_masks[known])
+        unseen = profile[profile >= self._item_words.size]
+        if unseen.size:
+            words, masks = item_bits_for(unseen, self.n_bits, self.seed)
+            np.bitwise_or.at(row, words, masks)
+        return row
+
+    def estimate_fp_one_to_many(self, fingerprint: np.ndarray, others: np.ndarray) -> np.ndarray:
+        """Estimated Jaccard of a fingerprint row vs each user in ``others``."""
         others = np.asarray(others, dtype=np.int64)
         if others.size == 0:
             return np.empty(0, dtype=np.float64)
-        a = self.fingerprints[user]
         rows = self.fingerprints[others]
-        inter = np.bitwise_count(a[None, :] & rows).sum(axis=1).astype(np.float64)
-        union = np.bitwise_count(a[None, :] | rows).sum(axis=1).astype(np.float64)
+        inter = np.bitwise_count(fingerprint[None, :] & rows).sum(axis=1).astype(np.float64)
+        union = np.bitwise_count(fingerprint[None, :] | rows).sum(axis=1).astype(np.float64)
         out = np.zeros(others.size, dtype=np.float64)
         nz = union > 0
         out[nz] = inter[nz] / union[nz]

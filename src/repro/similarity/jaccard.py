@@ -16,6 +16,8 @@ __all__ = [
     "jaccard_pair",
     "intersection_size",
     "jaccard_one_to_many",
+    "jaccard_profile_one_to_many",
+    "profile_intersections",
     "jaccard_block",
     "jaccard_matrix",
 ]
@@ -33,22 +35,26 @@ def jaccard_pair(a: np.ndarray, b: np.ndarray) -> float:
     return inter / union if union else 0.0
 
 
-def jaccard_one_to_many(dataset: Dataset, user: int, others: np.ndarray) -> np.ndarray:
-    """Exact Jaccard of ``user`` against each user in ``others``.
+def profile_intersections(
+    dataset: Dataset, profile: np.ndarray, others: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(|profile ∩ P_v|, |P_v|)`` for each user ``v`` in ``others``.
 
     Vectorised via a membership mask over the item universe: one pass
-    builds a boolean mask of ``user``'s profile, then intersection
-    sizes for all ``others`` are gathered in a single fancy-indexing
-    sweep over their concatenated profiles.
+    builds a boolean mask of the profile, then intersection sizes for
+    all ``others`` are gathered in a single fancy-indexing sweep over
+    their concatenated profiles. The profile need not belong to any
+    user in the dataset (the query-serving path scores out-of-index
+    profiles); items beyond the dataset's universe cannot intersect
+    anything and only count toward the union.
     """
     others = np.asarray(others, dtype=np.int64)
-    if others.size == 0:
-        return np.empty(0, dtype=np.float64)
-    mask = np.zeros(dataset.n_items, dtype=bool)
-    profile = dataset.profile(user)
-    mask[profile] = True
-
     sizes = dataset.profile_sizes[others]
+    if others.size == 0:
+        return np.zeros(0, dtype=np.int64), sizes
+    mask = np.zeros(dataset.n_items, dtype=bool)
+    mask[profile[profile < dataset.n_items]] = True
+
     # Concatenate the others' profiles and count mask hits per segment.
     indptr = np.zeros(others.size + 1, dtype=np.int64)
     np.cumsum(sizes, out=indptr[1:])
@@ -58,11 +64,26 @@ def jaccard_one_to_many(dataset: Dataset, user: int, others: np.ndarray) -> np.n
     hits = mask[flat].astype(np.int64)
     inter = np.add.reduceat(hits, indptr[:-1]) if flat.size else np.zeros(others.size, dtype=np.int64)
     inter[sizes == 0] = 0
+    return inter, sizes
+
+
+def jaccard_profile_one_to_many(
+    dataset: Dataset, profile: np.ndarray, others: np.ndarray
+) -> np.ndarray:
+    """Exact Jaccard of an arbitrary item-set profile vs ``others``."""
+    profile = np.asarray(profile, dtype=np.int64)
+    others = np.asarray(others, dtype=np.int64)
+    inter, sizes = profile_intersections(dataset, profile, others)
     union = profile.size + sizes - inter
     out = np.zeros(others.size, dtype=np.float64)
     nz = union > 0
     out[nz] = inter[nz] / union[nz]
     return out
+
+
+def jaccard_one_to_many(dataset: Dataset, user: int, others: np.ndarray) -> np.ndarray:
+    """Exact Jaccard of ``user`` against each user in ``others``."""
+    return jaccard_profile_one_to_many(dataset, dataset.profile(user), others)
 
 
 def jaccard_block(dataset: Dataset, us: np.ndarray, vs: np.ndarray) -> np.ndarray:

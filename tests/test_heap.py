@@ -139,3 +139,47 @@ class TestPushBatch:
 
     def test_empty_marker_value(self):
         assert EMPTY == -1
+
+
+class TestGeometricGrowth:
+    """m one-row grows must cost O(log m) reallocations, not m."""
+
+    def test_reallocation_count_is_logarithmic(self):
+        h = NeighborHeaps(4, 3)
+        m = 1000
+        for n in range(5, 5 + m):
+            h.grow(n)
+        assert h.n == 4 + m
+        # doubling from 4: 8, 16, ..., 1024 -> ceil(log2(1004/4)) = 8
+        assert h.reallocations <= int(np.ceil(np.log2((4 + m) / 4))) + 1
+
+    def test_grown_rows_behave_like_fresh_rows(self):
+        h = NeighborHeaps(2, 3)
+        h.push(0, 1, 0.5)
+        for n in range(3, 40):
+            h.grow(n)
+        assert h.ids.shape == (39, 3)
+        assert h.size(0) == 1 and h.contains(0, 1)  # survives reallocation
+        assert h.size(35) == 0
+        assert h.push(35, 2, 0.7)
+        ids, scores = h.items(35)
+        assert list(ids) == [2] and scores[0] == pytest.approx(0.7)
+
+    def test_views_stay_coherent_after_growth(self):
+        """Writes through ids/scores land in the backing buffer."""
+        h = NeighborHeaps(2, 2)
+        h.grow(50)
+        h.ids[49, 0] = 7
+        h.scores[49, 0] = 0.25
+        assert h.contains(49, 7)
+        h.grow(60)  # re-slices (and possibly reallocates) the views
+        assert h.contains(49, 7)
+        assert h.min_score(49) == -np.inf
+
+    def test_purge_covers_only_live_rows(self):
+        h = NeighborHeaps(2, 2)
+        h.grow(10)  # capacity may exceed 10; purge must not see spare rows
+        h.push(3, 9, 0.5)
+        rows = h.purge_id(9)
+        assert list(rows) == [3]
+        assert h.size(3) == 0

@@ -286,3 +286,91 @@ class TestUpdateBudget:
             make_engine(index.dataset.snapshot()), params
         )
         assert index.update_comparisons < 0.05 * rebuild.comparisons
+
+
+class TestGeometricGrowth:
+    """m signups must trigger O(log m) table reallocations (not m)."""
+
+    def test_signup_stream_reallocation_counts(self, small_dataset):
+        index = OnlineIndex.build(small_dataset, params=_params())
+        n0 = index.n_users
+        heaps = index.graph.heaps
+        gf = index.engine.goldfinger
+        assert heaps.reallocations == 0 and gf.reallocations == 0
+        rng = np.random.default_rng(0)
+        m = 300
+        for _ in range(m):
+            index.add_user(rng.integers(0, small_dataset.n_items, size=12))
+        bound = int(np.ceil(np.log2((n0 + m) / n0))) + 1
+        assert heaps.reallocations <= bound
+        assert gf.reallocations <= bound
+        assert index.n_users == n0 + m
+        assert heaps.ids.shape == (n0 + m, index.k)
+
+    def test_bloom_table_growth(self, tiny_dataset):
+        from repro.similarity import BloomFilterTable
+
+        table = BloomFilterTable(tiny_dataset, n_bits=128)
+        n0 = tiny_dataset.n_users
+        m = 200
+        for pos in range(m):
+            table.set_profile(n0 + pos, np.array([1, 2, 3]))
+        assert table.filters.shape[0] == n0 + m
+        assert table.reallocations <= int(np.ceil(np.log2((n0 + m) / n0))) + 1
+
+
+class TestLazyRefill:
+    """Rows degraded by remove_user recover on their next read."""
+
+    def _degrade(self, small_dataset, n_removals=8):
+        index = OnlineIndex.build(small_dataset, params=_params())
+        rng = np.random.default_rng(5)
+        for _ in range(n_removals):
+            index.remove_user(int(rng.choice(index.dataset.active_users())))
+        assert index.degraded  # removals must have left short rows
+        return index
+
+    def test_read_repairs_degraded_row(self, small_dataset):
+        index = self._degrade(small_dataset)
+        user = min(index.degraded)
+        short = index.graph.neighbors(user).size  # raw read: still short
+        assert short < index.k
+        ids, scores = index.neighborhood(user)  # serviced read: refills
+        assert ids.size == index.k > short
+        assert user not in index.degraded
+        assert index.refill_comparisons > 0
+        # scores are honest: they match the engine's current estimates
+        assert scores == pytest.approx(index.engine.one_to_many(user, ids))
+
+    def test_refill_recovers_recall(self, small_dataset):
+        from repro.serve import brute_force_top_k
+
+        index = self._degrade(small_dataset)
+        degraded = sorted(index.degraded)[:10]
+        reference = {}
+        for u in degraded:
+            ref = brute_force_top_k(
+                index.engine, index.dataset.profile(u), k=index.k,
+            )
+            reference[u] = ref.ids[ref.ids != u][: index.k]
+        before = np.mean([
+            np.isin(reference[u], index.graph.neighbors(u)).mean() for u in degraded
+        ])
+        for u in degraded:
+            index.neighborhood(u)
+        after = np.mean([
+            np.isin(reference[u], index.graph.neighbors(u)).mean() for u in degraded
+        ])
+        assert after > before
+        assert after >= 0.9
+
+    def test_update_clears_degraded_flag(self, small_dataset):
+        index = self._degrade(small_dataset)
+        user = min(index.degraded)
+        index.add_items(user, [0, 1, 2])  # full rescore repairs the row
+        assert user not in index.degraded
+
+    def test_rebuild_clears_degraded(self, small_dataset):
+        index = self._degrade(small_dataset)
+        index.rebuild()
+        assert not index.degraded

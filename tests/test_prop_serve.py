@@ -1,0 +1,94 @@
+"""Property tests for the serving layer under concurrent mutation.
+
+Randomized interleavings (fixed seeds, no hypothesis dependency) of
+``OnlineIndex`` mutations with cached queries. The invariant under
+test is the cache-coherence contract: a :class:`QueryEngine` answer
+must always equal what a fresh, uncached search against the *current*
+index state returns — the cache may save work, it may never serve
+neighbours from before a mutation.
+"""
+
+import numpy as np
+import pytest
+
+from repro import C2Params
+from repro.data import SyntheticSpec, generate
+from repro.online import OnlineIndex
+from repro.serve import GraphSearcher, QueryEngine
+
+K = 6
+N_OPS = 60
+
+
+def _index(seed):
+    spec = SyntheticSpec(
+        name="prop", n_users=150, n_items=300, mean_profile_size=25.0,
+        n_communities=8, community_pool_size=60, min_profile_size=8,
+    )
+    dataset = generate(spec, seed=seed)
+    params = C2Params(k=K, n_buckets=64, n_hashes=4, split_threshold=60, seed=1)
+    return OnlineIndex.build(dataset, params=params)
+
+
+def _mutate(index, rng):
+    active = index.dataset.active_users()
+    op = rng.random()
+    if op < 0.5 and active.size:
+        user = int(rng.choice(active))
+        index.add_items(user, rng.integers(0, index.dataset.n_items, size=2))
+    elif op < 0.75:
+        index.add_user(rng.integers(0, index.dataset.n_items, size=15))
+    elif active.size > 40:
+        index.remove_user(int(rng.choice(active)))
+
+
+def _random_profile(index, rng):
+    if rng.random() < 0.5 and index.dataset.active_users().size:
+        base = index.dataset.profile(int(rng.choice(index.dataset.active_users())))
+        keep = rng.random(base.size) > 0.4
+        return base[keep] if keep.any() else base
+    return rng.integers(0, index.dataset.n_items, size=int(rng.integers(3, 25)))
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_cache_never_serves_stale_neighbors(seed):
+    index = _index(seed)
+    queries = QueryEngine(index, k=K)
+    oracle = GraphSearcher(index)  # same defaults as the engine's searcher
+    rng = np.random.default_rng(seed + 100)
+    hits_checked = 0
+    try:
+        for _ in range(N_OPS):
+            if rng.random() < 0.5:
+                _mutate(index, rng)
+            profile = _random_profile(index, rng)
+            served = queries.search(profile, k=K)
+            fresh = oracle.top_k(np.unique(np.asarray(profile, dtype=np.int64)), k=K)
+            assert np.array_equal(served.ids, fresh.ids)
+            assert served.scores == pytest.approx(fresh.scores)
+            # re-ask: the second answer comes from cache and must still
+            # match the current index state
+            again = queries.search(profile, k=K)
+            assert again is served
+            hits_checked += 1
+    finally:
+        queries.close()
+    stats = queries.stats()
+    assert stats["cache_hits"] >= hits_checked  # the re-asks all hit
+    assert stats["invalidations"] > 0  # and mutations really dropped entries
+
+
+@pytest.mark.parametrize("seed", [3, 4])
+def test_served_results_only_contain_active_users(seed):
+    index = _index(seed)
+    queries = QueryEngine(index, k=K)
+    rng = np.random.default_rng(seed)
+    try:
+        for _ in range(30):
+            _mutate(index, rng)
+            result = queries.search(_random_profile(index, rng), k=K)
+            active = index.dataset.active_mask()
+            assert all(active[v] for v in result.ids)
+            assert np.unique(result.ids).size == result.ids.size
+    finally:
+        queries.close()

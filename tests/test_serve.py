@@ -1,0 +1,352 @@
+"""Tests for the query-serving subsystem (repro.serve)."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import C2Params
+from repro.cli import main
+from repro.online import MutableDataset, OnlineIndex
+from repro.recommend import recommend_from_neighbors
+from repro.serve import (
+    GraphSearcher,
+    QueryEngine,
+    Recommender,
+    SearchResult,
+    brute_force_top_k,
+)
+from repro.similarity import make_engine
+
+
+def _params(**kw):
+    base = dict(k=8, n_buckets=64, n_hashes=4, split_threshold=80, seed=1)
+    base.update(kw)
+    return C2Params(**base)
+
+
+@pytest.fixture(scope="module")
+def served_index(small_dataset):
+    return OnlineIndex.build(small_dataset, params=_params())
+
+
+class TestQueryProtocol:
+    """prepare_query/query_many must agree with the in-index path."""
+
+    @pytest.mark.parametrize("backend", ["exact", "goldfinger", "bloom"])
+    def test_matches_one_to_many_for_indexed_profiles(self, small_dataset, backend):
+        engine = make_engine(
+            MutableDataset.from_dataset(small_dataset), backend=backend, n_bits=256
+        )
+        others = np.arange(1, 40)
+        query = engine.prepare_query(small_dataset.profile(0))
+        assert engine.query_many(query, others) == pytest.approx(
+            engine.one_to_many(0, others)
+        )
+
+    @pytest.mark.parametrize("backend", ["exact", "goldfinger", "bloom"])
+    def test_charges_per_candidate_and_prep_is_free(self, small_dataset, backend):
+        engine = make_engine(
+            MutableDataset.from_dataset(small_dataset), backend=backend, n_bits=256
+        )
+        before = engine.comparisons
+        query = engine.prepare_query([1, 2, 3])
+        assert engine.comparisons == before
+        engine.query_many(query, np.arange(25))
+        assert engine.comparisons == before + 25
+
+    def test_exact_cosine_metric(self, small_dataset):
+        engine = make_engine(
+            MutableDataset.from_dataset(small_dataset), backend="exact", metric="cosine"
+        )
+        others = np.arange(1, 20)
+        query = engine.prepare_query(small_dataset.profile(0))
+        assert engine.query_many(query, others) == pytest.approx(
+            engine.one_to_many(0, others)
+        )
+
+    @pytest.mark.parametrize("backend", ["exact", "goldfinger", "bloom"])
+    def test_unseen_items_do_not_crash(self, small_dataset, backend):
+        engine = make_engine(
+            MutableDataset.from_dataset(small_dataset), backend=backend, n_bits=256
+        )
+        huge = small_dataset.n_items + 1000
+        query = engine.prepare_query([huge, huge + 1])
+        sims = engine.query_many(query, np.arange(10))
+        assert sims.shape == (10,)
+
+    def test_exact_unseen_items_count_toward_union(self, tiny_dataset):
+        engine = make_engine(MutableDataset.from_dataset(tiny_dataset), backend="exact")
+        # u0 = {0,1,2,3}; query = {0,1,2,3, 100} -> J = 4/5
+        query = engine.prepare_query([0, 1, 2, 3, 100])
+        assert engine.query_many(query, np.array([0]))[0] == pytest.approx(4 / 5)
+
+    @pytest.mark.parametrize("backend", ["goldfinger", "bloom"])
+    def test_queries_never_grow_shared_item_tables(self, small_dataset, backend):
+        """A read with a huge item id must not allocate O(id) memory."""
+        engine = make_engine(
+            MutableDataset.from_dataset(small_dataset), backend=backend, n_bits=256
+        )
+        table = engine.goldfinger if backend == "goldfinger" else engine.bloom
+        words = table._item_words if backend == "goldfinger" else table._item_words[0]
+        size_before = words.size
+        query = engine.prepare_query([1, 2, 50_000_000])
+        engine.query_many(query, np.arange(5))
+        words = table._item_words if backend == "goldfinger" else table._item_words[0]
+        assert words.size == size_before
+
+    def test_unseen_item_hash_matches_extended_table(self, tiny_dataset):
+        """On-the-fly hashing must equal extend-then-fingerprint."""
+        from repro.similarity import GoldFinger
+
+        a = GoldFinger(tiny_dataset, n_bits=128, seed=7)
+        on_the_fly = a.fingerprint_profile([1, 2, 500])
+        a._ensure_items(501)
+        extended = a.fingerprint_profile([1, 2, 500])
+        assert np.array_equal(on_the_fly, extended)
+
+
+class TestGraphSearcher:
+    def test_twin_profile_is_top_result(self, small_dataset, served_index):
+        searcher = GraphSearcher(served_index)
+        twin_of = 11
+        result = searcher.top_k(small_dataset.profile(twin_of), k=5)
+        assert result.ids[0] == twin_of
+        assert result.scores[0] == pytest.approx(1.0)
+
+    def test_deterministic(self, served_index):
+        searcher = GraphSearcher(served_index)
+        a = searcher.top_k([1, 5, 9, 200], k=6)
+        b = searcher.top_k([1, 5, 9, 200], k=6)
+        assert np.array_equal(a.ids, b.ids)
+        assert a.scores == pytest.approx(b.scores)
+        assert a.evaluations == b.evaluations
+
+    def test_counts_evaluations_through_engine(self, served_index):
+        searcher = GraphSearcher(served_index)
+        before = served_index.engine.comparisons
+        result = searcher.top_k([3, 7, 42], k=5)
+        assert served_index.engine.comparisons - before == result.evaluations
+        assert result.evaluations > 0
+
+    def test_budget_is_respected(self, served_index):
+        searcher = GraphSearcher(served_index, budget=40)
+        result = searcher.top_k([3, 7, 42], k=5)
+        assert result.evaluations <= 40
+
+    def test_exclude(self, small_dataset, served_index):
+        searcher = GraphSearcher(served_index)
+        profile = small_dataset.profile(11)
+        result = searcher.top_k(profile, k=5, exclude=(11,))
+        assert 11 not in result.ids
+
+    def test_empty_profile(self, served_index):
+        searcher = GraphSearcher(served_index)
+        result = searcher.top_k([], k=5)
+        assert len(result) == 5  # arbitrary users, all zero-similar
+        assert result.scores == pytest.approx(np.zeros(5))
+
+    def test_results_sorted_best_first(self, served_index):
+        searcher = GraphSearcher(served_index)
+        result = searcher.top_k([1, 5, 9, 200], k=8)
+        assert np.all(np.diff(result.scores) <= 0)
+        assert np.unique(result.ids).size == result.ids.size
+
+    def test_never_returns_tombstones(self, small_dataset):
+        index = OnlineIndex.build(small_dataset, params=_params())
+        searcher = GraphSearcher(index)
+        victim = int(searcher.top_k(small_dataset.profile(4), k=1).ids[0])
+        index.remove_user(victim)
+        result = searcher.top_k(small_dataset.profile(4), k=10)
+        assert victim not in result.ids
+
+    def test_huge_item_id_query_is_safe(self, served_index):
+        """Out-of-universe ids neither crash nor grow router tables."""
+        searcher = GraphSearcher(served_index)
+        hash_table = served_index._router._hashes[0]
+        size_before = hash_table.table.size
+        result = searcher.top_k([1, 2, 50_000_000], k=5)
+        assert len(result) == 5
+        assert hash_table.table.size == size_before
+
+    def test_brute_force_reference(self, small_dataset, served_index):
+        profile = small_dataset.profile(2)
+        ref = brute_force_top_k(served_index.engine, profile, k=3)
+        assert isinstance(ref, SearchResult)
+        assert ref.evaluations == served_index.dataset.active_users().size
+        assert ref.ids[0] == 2 and ref.scores[0] == pytest.approx(1.0)
+
+
+class TestOutOfSampleRecall:
+    """Graph-walk answers must track brute force for unseen profiles."""
+
+    def test_recall_at_10_vs_brute_force(self, medium_dataset):
+        rng = np.random.default_rng(3)
+        index = OnlineIndex.build(
+            medium_dataset, params=_params(k=10, n_buckets=128, split_threshold=120)
+        )
+        searcher = GraphSearcher(index, ef=32)
+        recalls, fractions = [], []
+        for _ in range(40):
+            base = medium_dataset.profile(int(rng.integers(0, medium_dataset.n_users)))
+            profile = base[rng.random(base.size) > 0.3]
+            result = searcher.top_k(profile, k=10)
+            reference = brute_force_top_k(index.engine, profile, k=10)
+            recalls.append(float(np.isin(reference.ids, result.ids).mean()))
+            fractions.append(result.evaluations / reference.evaluations)
+        assert np.mean(recalls) >= 0.85
+        assert np.mean(fractions) < 0.6  # small n: walk overhead dominates
+
+
+class TestQueryEngine:
+    def test_cache_hit_returns_same_result(self, served_index):
+        queries = QueryEngine(served_index)
+        try:
+            a = queries.search([1, 2, 3])
+            b = queries.search([3, 2, 1, 1])  # canonicalised to the same key
+            assert b is a
+            assert queries.stats()["cache_hits"] == 1
+        finally:
+            queries.close()
+
+    def test_mutation_invalidates_cache(self, small_dataset):
+        index = OnlineIndex.build(small_dataset, params=_params())
+        queries = QueryEngine(index)
+        try:
+            a = queries.search([1, 2, 3])
+            index.add_items(0, [small_dataset.n_items - 1])
+            b = queries.search([1, 2, 3])
+            assert b is not a
+            assert queries.stats()["invalidations"] >= 1
+        finally:
+            queries.close()
+
+    def test_batch_dedup(self, served_index):
+        queries = QueryEngine(served_index, cache_size=0)  # isolate dedup from cache
+        try:
+            results = queries.search_many([[1, 2], [5, 9], [2, 1], [1, 2]])
+            assert results[0] is results[2] is results[3]
+            assert results[1] is not results[0]
+            stats = queries.stats()
+            assert stats["cache_misses"] == 2
+            assert stats["dedup_hits"] == 2
+        finally:
+            queries.close()
+
+    def test_lru_eviction(self, served_index):
+        queries = QueryEngine(served_index, cache_size=2)
+        try:
+            a = queries.search([1])
+            queries.search([2])
+            queries.search([3])  # evicts [1]
+            assert queries.stats()["cached_entries"] == 2
+            assert queries.search([1]) is not a
+        finally:
+            queries.close()
+
+    def test_close_detaches_hook(self, small_dataset):
+        index = OnlineIndex.build(small_dataset, params=_params())
+        queries = QueryEngine(index)
+        queries.close()
+        index.add_items(0, [small_dataset.n_items - 1])  # must not raise
+        # version stamps still protect against stale reads post-close
+        a = queries.search([4, 5])
+        index.add_items(1, [small_dataset.n_items - 1])
+        assert queries.search([4, 5]) is not a
+
+    def test_async_concurrent_queries_share_one_batch(self, served_index):
+        queries = QueryEngine(served_index)
+        try:
+            async def burst():
+                return await asyncio.gather(
+                    *(queries.search_async([7, 8, 9]) for _ in range(6))
+                )
+
+            results = asyncio.run(burst())
+            assert all(r is results[0] for r in results)
+            stats = queries.stats()
+            assert stats["cache_misses"] == 1
+            assert stats["dedup_hits"] == 5
+        finally:
+            queries.close()
+
+    def test_async_mixed_k(self, served_index):
+        queries = QueryEngine(served_index)
+        try:
+            async def burst():
+                return await asyncio.gather(
+                    queries.search_async([7, 8, 9], k=3),
+                    queries.search_async([7, 8, 9], k=5),
+                )
+
+            small, large = asyncio.run(burst())
+            assert len(small) == 3 and len(large) == 5
+        finally:
+            queries.close()
+
+
+class TestRecommender:
+    def test_recommends_unseen_items(self, small_dataset, served_index):
+        queries = QueryEngine(served_index)
+        try:
+            recommender = Recommender(queries, n_neighbors=8)
+            profile = small_dataset.profile(6)[:10]
+            items = recommender.recommend(profile, n_recommendations=5)
+            assert 0 < items.size <= 5
+            assert not np.isin(items, profile).any()
+        finally:
+            queries.close()
+
+    def test_matches_manual_scoring(self, small_dataset, served_index):
+        queries = QueryEngine(served_index)
+        try:
+            recommender = Recommender(queries, n_neighbors=8)
+            profile = np.unique(small_dataset.profile(6)[:10])
+            items = recommender.recommend(profile)
+            result = queries.search(profile, k=8)
+            expected = recommend_from_neighbors(
+                served_index.dataset, profile, result.ids, result.scores, 30
+            )
+            assert np.array_equal(items, expected)
+        finally:
+            queries.close()
+
+    def test_zero_recommendations_returns_empty(self, small_dataset, served_index):
+        queries = QueryEngine(served_index)
+        try:
+            recommender = Recommender(queries, n_neighbors=8)
+            items = recommender.recommend(small_dataset.profile(6), n_recommendations=0)
+            assert items.size == 0
+        finally:
+            queries.close()
+
+    def test_async_path(self, small_dataset, served_index):
+        queries = QueryEngine(served_index)
+        try:
+            recommender = Recommender(queries, n_neighbors=8)
+            profile = small_dataset.profile(2)[:12]
+            sync_items = recommender.recommend(profile)
+            async_items = asyncio.run(recommender.recommend_async(profile))
+            assert np.array_equal(sync_items, async_items)
+        finally:
+            queries.close()
+
+
+class TestServeDemoCLI:
+    def test_runs_and_reports(self, capsys):
+        code = main(
+            [
+                "serve-demo",
+                "--dataset",
+                "ml1M",
+                "--scale",
+                "0.02",
+                "--k",
+                "8",
+                "--queries",
+                "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "QPS" in out and "Recall@10" in out
