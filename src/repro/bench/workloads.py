@@ -15,10 +15,13 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..core.config import C2Params, paper_params
 from ..data.registry import DEFAULT_SCALE
 
 __all__ = [
+    "MixedWorkload",
     "Workload",
     "bench_scale",
     "paper_workload",
@@ -80,6 +83,51 @@ class Workload:
         return scaled_c2_params(
             self.dataset, self.scale, n_workers=self.n_workers, seed=self.seed
         )
+
+
+@dataclass(frozen=True)
+class MixedWorkload:
+    """An interleaved read/write serving workload (not from the paper).
+
+    The paper's benchmarks build graphs; the serving subsystem's worst
+    case is *mixed* traffic — queries racing mutations, where every
+    write used to cost the read path a full reverse-index rebuild and
+    a cold cache. This workload pins that scenario down: a
+    deterministic sequence of operation kinds (default 90% reads, 10%
+    writes split across profile updates, signups and departures),
+    drawn up front from the seed so the same op tape can be replayed
+    against different serving configurations. The caller resolves each
+    kind against live state (which user to touch, which profile to
+    query) with its own seeded RNG.
+    """
+
+    n_ops: int = 1000
+    read_fraction: float = 0.9
+    add_items_weight: float = 0.60  # write mix: profile updates
+    add_user_weight: float = 0.25   # write mix: signups
+    remove_user_weight: float = 0.15  # write mix: departures
+    seed: int = 0
+
+    def kinds(self) -> list[str]:
+        """The deterministic operation tape, e.g. ``["query", "add_items", ...]``."""
+        rng = np.random.default_rng(self.seed)
+        weights = np.array(
+            [self.add_items_weight, self.add_user_weight, self.remove_user_weight],
+            dtype=np.float64,
+        )
+        weights = weights / weights.sum()
+        reads = rng.random(self.n_ops) < self.read_fraction
+        writes = rng.choice(
+            np.array(["add_items", "add_user", "remove_user"]),
+            size=self.n_ops,
+            p=weights,
+        )
+        return ["query" if r else str(w) for r, w in zip(reads, writes)]
+
+    @property
+    def n_reads(self) -> int:
+        """Queries in the tape (exact count, not the expectation)."""
+        return sum(kind == "query" for kind in self.kinds())
 
 
 def paper_workload(

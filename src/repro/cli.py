@@ -40,7 +40,7 @@ from .core import cluster_and_conquer
 from .data import dataset_names, describe, load, load_dataset
 from .online import OnlineIndex
 from .recommend import evaluate_recall
-from .serve import GraphSearcher, QueryEngine, brute_force_top_k
+from .serve import GraphSearcher, QueryEngine, ShardedQueryEngine, brute_force_top_k
 from .similarity import ExactEngine, make_engine
 
 __all__ = ["main"]
@@ -160,8 +160,15 @@ def _cmd_serve_demo(args) -> int:
     dataset = _load_dataset(args)
     workload = Workload(dataset=args.dataset, scale=args.scale, k=args.k, seed=args.seed)
     index = OnlineIndex.build(dataset, params=workload.c2_params)
-    searcher = GraphSearcher(index, ef=args.ef, budget=args.budget)
-    queries = QueryEngine(index, k=args.topk, searcher=searcher)
+    rerank = None if args.rerank == "none" else args.rerank
+    searcher = GraphSearcher(index, ef=args.ef, budget=args.budget, rerank=rerank)
+    if args.shards > 1:
+        queries = ShardedQueryEngine(
+            index, args.shards, k=args.topk,
+            searcher_kwargs=dict(ef=args.ef, budget=args.budget, rerank=rerank),
+        )
+    else:
+        queries = QueryEngine(index, k=args.topk, searcher=searcher)
 
     # Out-of-sample query profiles: partial histories of real users (a
     # visitor who rated a subset of what an indexed user rated), drawn
@@ -211,6 +218,7 @@ def _cmd_serve_demo(args) -> int:
             ),
         )
     )
+    queries.close()
     return 0
 
 
@@ -266,6 +274,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ef", type=int, default=32)
     p.add_argument("--budget", type=int, default=None,
                    help="hard cap on similarity evaluations per query")
+    p.add_argument("--shards", type=int, default=1,
+                   help="serve through a ShardedQueryEngine with N thread workers")
+    p.add_argument("--rerank", default="none", choices=["none", "exact"],
+                   help="re-score the walk's final frontier with exact similarities")
     p.set_defaults(fn=_cmd_serve_demo)
 
     return parser

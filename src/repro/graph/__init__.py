@@ -1,13 +1,15 @@
-"""KNN graph substrate: bounded heaps, graph object, metrics."""
+"""KNN graph substrate: bounded heaps, graph object, reverse index, metrics."""
 
 from .heap import EMPTY, NeighborHeaps
 from .knn_graph import KNNGraph, random_graph
 from .metrics import average_similarity, edge_recall, quality
+from .reverse import ReverseAdjacency
 
 __all__ = [
     "EMPTY",
     "KNNGraph",
     "NeighborHeaps",
+    "ReverseAdjacency",
     "average_similarity",
     "edge_recall",
     "quality",

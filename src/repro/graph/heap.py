@@ -38,6 +38,13 @@ class NeighborHeaps:
         self.ids = self._ids_buf[: self.n]
         self.scores = self._scores_buf[: self.n]
         self.reallocations = 0
+        # Optional edge journal: when attached, every structural change
+        # to the edge set is recorded as ``(u, v, added)`` — the raw
+        # material for incremental reverse-adjacency maintenance. Score
+        # rescorings of an existing edge are not structural and are not
+        # recorded. ``None`` (the default) costs one branch per
+        # primitive, so batch construction pays nothing.
+        self.journal: list[tuple[int, int, bool]] | None = None
 
     # ------------------------------------------------------------------
 
@@ -70,6 +77,17 @@ class NeighborHeaps:
     # Incremental maintenance (online-update subsystem)
     # ------------------------------------------------------------------
 
+    def attach_journal(self) -> None:
+        """Start recording per-edge ``(u, v, added)`` deltas."""
+        self.journal = []
+
+    def drain_journal(self) -> list[tuple[int, int, bool]]:
+        """Return and reset the recorded deltas (empty if detached)."""
+        if self.journal is None:
+            return []
+        out, self.journal = self.journal, []
+        return out
+
     def grow(self, n: int) -> None:
         """Extend to ``n`` rows; new rows start empty.
 
@@ -94,6 +112,9 @@ class NeighborHeaps:
 
     def clear_row(self, u: int) -> None:
         """Empty ``u``'s neighbour list."""
+        if self.journal is not None:
+            row = self.ids[u]
+            self.journal.extend((u, int(v), False) for v in row[row != EMPTY])
         self.ids[u].fill(EMPTY)
         self.scores[u].fill(-np.inf)
 
@@ -102,13 +123,42 @@ class NeighborHeaps:
 
         Returns the affected rows. A vectorised column sweep — O(n·k)
         memory traffic but zero similarity evaluations, which is the
-        currency that matters.
+        currency that matters. When the holders of ``v`` are already
+        known (a maintained reverse-adjacency index), prefer
+        :meth:`purge_id_rows`, which costs O(holders · k) instead.
         """
         mask = self.ids == v
         rows = np.flatnonzero(mask.any(axis=1))
         if rows.size:
             self.ids[mask] = EMPTY
             self.scores[mask] = -np.inf
+            if self.journal is not None:
+                self.journal.extend((int(u), v, False) for u in rows)
+        return rows
+
+    def purge_id_rows(self, v: int, rows: np.ndarray) -> np.ndarray:
+        """Remove ``v`` from the given ``rows`` only.
+
+        The targeted variant of :meth:`purge_id` for callers that know
+        which rows hold ``v`` (e.g. from a maintained reverse-adjacency
+        index): O(len(rows)·k) instead of a full O(n·k) column sweep.
+        Returns the rows that actually changed.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return rows
+        mask = self.ids[rows] == v
+        hit = mask.any(axis=1)
+        rows = rows[hit]
+        if rows.size:
+            sub_ids = self.ids[rows]
+            sub_scores = self.scores[rows]
+            sub_ids[mask[hit]] = EMPTY
+            sub_scores[mask[hit]] = -np.inf
+            self.ids[rows] = sub_ids
+            self.scores[rows] = sub_scores
+            if self.journal is not None:
+                self.journal.extend((int(u), v, False) for u in rows)
         return rows
 
     # ------------------------------------------------------------------
@@ -130,10 +180,15 @@ class NeighborHeaps:
                 return True
             return False
         slot = int(np.argmin(self.scores[u]))
-        if self.ids[u, slot] != EMPTY and self.scores[u, slot] >= score:
+        evicted = int(self.ids[u, slot])
+        if evicted != EMPTY and self.scores[u, slot] >= score:
             return False
         self.ids[u, slot] = v
         self.scores[u, slot] = score
+        if self.journal is not None:
+            if evicted != EMPTY:
+                self.journal.append((u, evicted, False))
+            self.journal.append((u, v, True))
         return True
 
     def push_batch(self, u: int, cands: np.ndarray, scores: np.ndarray) -> np.ndarray:
@@ -180,4 +235,8 @@ class NeighborHeaps:
         self.scores[u].fill(-np.inf)
         self.ids[u, : new_ids.size] = new_ids
         self.scores[u, : new_scores.size] = new_scores
+        if self.journal is not None:
+            removed = np.setdiff1d(old_ids, new_ids, assume_unique=False)
+            self.journal.extend((u, int(v), False) for v in removed)
+            self.journal.extend((u, int(v), True) for v in inserted)
         return inserted

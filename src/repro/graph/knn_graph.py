@@ -63,15 +63,21 @@ class KNNGraph:
         """Drop all outgoing edges of ``u``."""
         self.heaps.clear_row(u)
 
-    def remove_user(self, u: int) -> np.ndarray:
+    def remove_user(self, u: int, holders: np.ndarray | None = None) -> np.ndarray:
         """Detach ``u`` entirely: drop its row and every reverse edge.
 
         Returns the users that lost ``u`` as a neighbour (their lists
         are left one short — the online index refills them lazily the
-        next time they are touched by an update).
+        next time they are touched by an update). When ``holders`` —
+        the rows known to keep ``u``, from a maintained
+        :class:`~repro.graph.reverse.ReverseAdjacency` — is given, only
+        those rows are scanned (O(holders·k)) instead of the whole
+        table (O(n·k)).
         """
         self.heaps.clear_row(u)
-        return self.heaps.purge_id(u)
+        if holders is None:
+            return self.heaps.purge_id(u)
+        return self.heaps.purge_id_rows(u, holders)
 
     def rescore_user(self, u: int, cands: np.ndarray, scores: np.ndarray) -> None:
         """Replace ``u``'s neighbourhood with the top-k of ``cands``."""

@@ -28,11 +28,15 @@ balance matters more than latency.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
+from .._sync import RWLock
 from ..core.cluster_and_conquer import cluster_and_conquer
 from ..core.config import C2Params
 from ..graph.heap import EMPTY
+from ..graph.reverse import ReverseAdjacency
 from ..result import BuildResult
 from ..similarity.engine import SimilarityEngine, make_engine
 from .dataset import MutableDataset
@@ -79,8 +83,11 @@ class OnlineIndex:
         self.update_comparisons = 0
         self.refill_comparisons = 0
         self.version = 0
+        self.lock = RWLock()  # mutations write, serving walks read
         self._listeners: list = []
         self._refiller = None  # lazily-built GraphSearcher (serve subsystem)
+        self._reverse: ReverseAdjacency | None = None  # lazy, then maintained
+        self._reverse_build_lock = threading.Lock()
         self._install(build)
 
     @classmethod
@@ -134,6 +141,33 @@ class OnlineIndex:
             stale = np.isin(heaps.ids, inactive)
             heaps.ids[stale] = EMPTY
             heaps.scores[stale] = -np.inf
+        # From here every structural edge change is journaled so the
+        # reverse-adjacency index (and any subscriber) can be patched
+        # per edge instead of rebuilt per mutation. A (re)build replaces
+        # the heap table wholesale, so any maintained reverse state is
+        # discarded and lazily rebuilt from the fresh edges.
+        self.graph.heaps.attach_journal()
+        self._reverse = None
+
+    # ------------------------------------------------------------------
+    # Pickling (process-mode serving shards snapshot the index)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # Listeners are bound to front-end objects in the parent
+        # process, the refiller holds a back-reference, and locks are
+        # not picklable; a worker's snapshot starts detached.
+        state["_listeners"] = []
+        state["_refiller"] = None
+        state["lock"] = None
+        state["_reverse_build_lock"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.lock = RWLock()
+        self._reverse_build_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -181,11 +215,17 @@ class OnlineIndex:
     # ------------------------------------------------------------------
 
     def subscribe(self, callback) -> None:
-        """Register ``callback(event, user)`` to run after every mutation.
+        """Register ``callback(event, user, deltas)`` after every mutation.
 
         Events: ``add_user``, ``add_items``, ``remove_user``,
-        ``refill``, ``rebuild``. ``repro.serve.QueryEngine`` wires its
-        result-cache invalidation through this hook.
+        ``refill``, ``rebuild``. ``user`` is the mutated user id (-1
+        for ``rebuild``). ``deltas`` is the list of per-edge changes
+        the mutation made to the graph, as ``(u, v, added)`` triples in
+        application order — empty for ``rebuild``, whose edge set is
+        replaced wholesale. ``repro.serve.QueryEngine`` wires its
+        result-cache invalidation through this hook; the deltas are
+        what let downstream reverse-adjacency state be patched instead
+        of rebuilt.
         """
         self._listeners.append(callback)
 
@@ -194,13 +234,37 @@ class OnlineIndex:
         self._listeners.remove(callback)
 
     def _notify(self, event: str, user: int) -> None:
+        deltas = self.graph.heaps.drain_journal()
         self.version += 1
+        if self._reverse is not None:
+            self._reverse.grow(self._data.n_users)
+            self._reverse.apply(deltas)
         for callback in list(self._listeners):
-            callback(event, user)
+            callback(event, user, deltas)
 
     # ------------------------------------------------------------------
     # Read-side support (query-serving subsystem)
     # ------------------------------------------------------------------
+
+    def reverse_index(self) -> ReverseAdjacency:
+        """The maintained in-edge index ``holders(v) = {u : v ∈ edges(u)}``.
+
+        Built lazily — one O(n·k) group-by on first use — and patched
+        per edge from every subsequent mutation's journal, so between
+        mutations it is always exactly the reverse of the current edge
+        set (the property suite compares it against a from-scratch
+        rebuild). Once built it also takes over the write path: the
+        O(n·k) purge scans in :meth:`remove_user` and the update
+        re-score become O(holders·k) row edits.
+        """
+        if self._reverse is None:
+            # Double-checked: N shard walks hitting a cold index must
+            # pay the O(n·k) group-by once, not once each. Safe under
+            # the read lock — builders see the same frozen edge set.
+            with self._reverse_build_lock:
+                if self._reverse is None:
+                    self._reverse = ReverseAdjacency.from_heaps(self.graph.heaps)
+        return self._reverse
 
     def seed_candidates(self, profile, per_config: int = 16) -> np.ndarray:
         """Entry points for a graph search on an arbitrary profile.
@@ -243,23 +307,24 @@ class OnlineIndex:
         — the counted cost lands in ``refill_comparisons``. No-op for
         rows that are not flagged degraded.
         """
-        self._degraded.discard(user)
-        if not self._data.is_active(user):
-            return
-        from ..serve.searcher import GraphSearcher  # deferred: serve imports online
+        with self.lock.write():
+            self._degraded.discard(user)
+            if not self._data.is_active(user):
+                return
+            from ..serve.searcher import GraphSearcher  # deferred: serve imports online
 
-        if self._refiller is None:
-            self._refiller = GraphSearcher(self)
-        before = self.engine.comparisons
-        result = self._refiller.top_k(
-            self._data.profile(user),
-            k=self.k,
-            exclude=(user,),
-            extra_seeds=self.graph.neighbors(user),
-        )
-        self.graph.add_batch(user, result.ids, result.scores)
-        self.refill_comparisons += self.engine.comparisons - before
-        self._notify("refill", user)
+            if self._refiller is None:
+                self._refiller = GraphSearcher(self)
+            before = self.engine.comparisons
+            result = self._refiller.top_k(
+                self._data.profile(user),
+                k=self.k,
+                exclude=(user,),
+                extra_seeds=self.graph.neighbors(user),
+            )
+            self.graph.add_batch(user, result.ids, result.scores)
+            self.refill_comparisons += self.engine.comparisons - before
+            self._notify("refill", user)
 
     def stats(self) -> dict:
         """Operational counters for dashboards and tests."""
@@ -274,6 +339,7 @@ class OnlineIndex:
             "n_clusters": int((sizes > 0).sum()),
             "max_cluster_size": int(sizes.max()) if sizes.size else 0,
             "n_degraded": len(self._degraded),
+            "reverse_built": self._reverse is not None,
             "version": self.version,
         }
 
@@ -283,13 +349,16 @@ class OnlineIndex:
 
     def add_user(self, items) -> int:
         """Insert a new user with the given profile; returns her id."""
-        uid = self._data.add_user(items)
-        self.engine.update_profile(uid, None)
-        self.graph.grow(self._data.n_users)
-        self._assign.append([-1] * self.n_configs)
-        self._update(uid)
-        self._notify("add_user", uid)
-        return uid
+        with self.lock.write():
+            uid = self._data.add_user(items)
+            self.engine.update_profile(uid, None)
+            self.graph.grow(self._data.n_users)
+            if self._reverse is not None:
+                self._reverse.grow(self._data.n_users)
+            self._assign.append([-1] * self.n_configs)
+            self._update(uid)
+            self._notify("add_user", uid)
+            return uid
 
     def add_items(self, user: int, items) -> np.ndarray:
         """Add items to ``user``'s profile and refresh her edges.
@@ -297,30 +366,40 @@ class OnlineIndex:
         Returns the genuinely new item ids; a no-op update (all items
         already present) costs nothing.
         """
-        added = self._data.add_items(user, items)
-        if added.size:
-            self.engine.update_profile(user, added)
-            self._update(user)
-            self._notify("add_items", user)
-        return added
+        with self.lock.write():
+            added = self._data.add_items(user, items)
+            if added.size:
+                self.engine.update_profile(user, added)
+                self._update(user)
+                self._notify("add_items", user)
+            return added
 
     def remove_user(self, user: int) -> None:
-        """Tombstone ``user`` and detach her node (zero comparisons)."""
-        if not self._data.is_active(user):
-            return
-        self._data.remove_user(user)
-        self.engine.update_profile(user, None)
-        for config, cid in enumerate(self._assign[user]):
-            if cid >= 0:
-                self._members[cid].remove(user)
-            self._assign[user][config] = -1
-        losers = self.graph.remove_user(user)
-        # Rows that lost an edge stay one short until someone reads
-        # them — the lazy-refill contract (see neighborhood/refill).
-        active = self._data.active_mask()
-        self._degraded.update(int(v) for v in losers if active[v])
-        self._degraded.discard(user)
-        self._notify("remove_user", user)
+        """Tombstone ``user`` and detach her node (zero comparisons).
+
+        With the reverse index built, the detach purges only the rows
+        actually holding ``user`` (read off the in-edge set) instead of
+        column-scanning all n rows.
+        """
+        with self.lock.write():
+            if not self._data.is_active(user):
+                return
+            self._data.remove_user(user)
+            self.engine.update_profile(user, None)
+            for config, cid in enumerate(self._assign[user]):
+                if cid >= 0:
+                    self._members[cid].remove(user)
+                self._assign[user][config] = -1
+            holders = None
+            if self._reverse is not None:
+                holders = self._reverse.holders(user)
+            losers = self.graph.remove_user(user, holders=holders)
+            # Rows that lost an edge stay one short until someone reads
+            # them — the lazy-refill contract (see neighborhood/refill).
+            active = self._data.active_mask()
+            self._degraded.update(int(v) for v in losers if active[v])
+            self._degraded.discard(user)
+            self._notify("remove_user", user)
 
     def rebuild(self) -> BuildResult:
         """Re-run the batch pipeline on the current profiles.
@@ -329,11 +408,12 @@ class OnlineIndex:
         swollen by churn are re-balanced); the engine and its counters
         carry over, so the rebuild's cost lands in ``comparisons``.
         """
-        build = cluster_and_conquer(self.engine, self.params, keep_clustering=True)
-        self.build_result = build
-        self._install(build)
-        self._notify("rebuild", -1)
-        return build
+        with self.lock.write():
+            build = cluster_and_conquer(self.engine, self.params, keep_clustering=True)
+            self.build_result = build
+            self._install(build)
+            self._notify("rebuild", -1)
+            return build
 
     # ------------------------------------------------------------------
 
@@ -364,9 +444,17 @@ class OnlineIndex:
         # plus every existing edge touching the user in either
         # direction (their scores are stale now). Purging the reverse
         # edges up front doubles as the holder scan — every ex-holder
-        # joins the candidate set and gets a fresh offer below.
+        # joins the candidate set and gets a fresh offer below. With
+        # the reverse index built the holders are already known, so the
+        # purge touches O(holders) rows instead of scanning all n.
         candidate_pools.append(self.graph.neighbors(user).astype(np.int64))
-        candidate_pools.append(self.graph.heaps.purge_id(user).astype(np.int64))
+        if self._reverse is not None:
+            ex_holders = self.graph.heaps.purge_id_rows(
+                user, self._reverse.holders(user)
+            )
+        else:
+            ex_holders = self.graph.heaps.purge_id(user)
+        candidate_pools.append(ex_holders.astype(np.int64))
         cands = np.unique(np.concatenate(candidate_pools))
         cands = cands[cands != user]
 

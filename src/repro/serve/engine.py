@@ -9,11 +9,23 @@ into a service front end:
 * **deduplication** — identical profiles inside a batch are searched
   once, so a thundering herd of the same query charges the engine a
   single time;
-* **an LRU result cache** whose entries are stamped with the index's
-  mutation version and dropped by an invalidation hook wired to
-  :meth:`~repro.online.OnlineIndex.subscribe` — a cached answer is
-  never served across a mutation, the "no stale neighbours" contract
-  the property tests enforce.
+* **an LRU result cache** wired to
+  :meth:`~repro.online.OnlineIndex.subscribe`. Two invalidation modes:
+
+  - ``"partial"`` (default): a user→cache-key postings map tracks
+    which cached result sets contain which users; a mutation of user
+    ``u`` evicts exactly the entries whose results include ``u``.
+    Entries untouched by the mutation survive — under a 90/10
+    read/write storm the cache keeps earning its keep instead of
+    starting cold after every write. The relaxed contract: a cached
+    answer **never contains a user mutated after it was computed**
+    (so no tombstoned, re-profiled or refilled neighbour is ever
+    served stale), but an answer cached before an *unrelated*
+    mutation may miss, e.g., a brand-new very-similar signup until
+    it expires from the LRU.
+  - ``"full"``: every mutation drops the whole cache and entries are
+    version-stamped — the strict PR-2 contract that a cached answer
+    always equals a fresh search against the current index state.
 
 All similarity spending still flows through the engine's ``charge()``
 protocol; the cache saves whole queries, not accounting accuracy.
@@ -22,6 +34,7 @@ protocol; the cache saves whole queries, not accounting accuracy.
 from __future__ import annotations
 
 import asyncio
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -32,6 +45,106 @@ from .searcher import GraphSearcher, SearchResult
 __all__ = ["QueryEngine"]
 
 
+class _ResultCache:
+    """LRU of :class:`SearchResult` with per-user partial invalidation.
+
+    Keyed by ``(canonical profile bytes, k)``. In ``"partial"`` mode a
+    postings map ``user id -> {keys whose cached result contains it}``
+    lets a mutation evict exactly the answers it can have changed; in
+    ``"full"`` mode any mutation clears everything and lookups also
+    enforce the stored index version (belt and braces against a
+    detached hook). Thread-safe: the sharded front end serves lookups
+    from multiple workers.
+    """
+
+    def __init__(self, size: int, mode: str = "partial") -> None:
+        if mode not in ("partial", "full"):
+            raise ValueError("invalidation mode must be 'partial' or 'full'")
+        self.size = int(size)
+        self.mode = mode
+        self.invalidations = 0
+        self._entries: OrderedDict[tuple, tuple[int, SearchResult]] = OrderedDict()
+        self._postings: dict[int, set[tuple]] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple, version: int) -> SearchResult | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            stored_version, result = entry
+            if self.mode == "full" and stored_version != version:
+                self._drop(key)
+                self.invalidations += 1
+                return None
+            self._entries.move_to_end(key)
+            return result
+
+    def put(self, key: tuple, version: int, result: SearchResult, live_version=None) -> None:
+        """Store a result computed at index ``version``.
+
+        ``live_version`` (a callable) closes the store-after-evict
+        race under concurrent mutation: a result computed before a
+        mutation must not enter the cache after that mutation's
+        eviction already ran. Checked under the cache lock — the same
+        lock :meth:`on_mutation` takes — so either the entry lands
+        first and the eviction sees it, or the version has moved and
+        the entry is discarded.
+        """
+        if self.size <= 0:
+            return
+        with self._lock:
+            if live_version is not None and live_version() != version:
+                return
+            if key in self._entries:
+                self._drop(key)
+            self._entries[key] = (version, result)
+            if self.mode == "partial":  # full mode never consults postings
+                for v in result.ids:
+                    self._postings.setdefault(int(v), set()).add(key)
+            while len(self._entries) > self.size:
+                self._drop(next(iter(self._entries)))
+
+    def _drop(self, key: tuple) -> None:
+        """Remove one entry and unthread it from the postings map."""
+        entry = self._entries.pop(key, None)
+        if entry is None or self.mode != "partial":
+            return
+        for v in entry[1].ids:
+            keys = self._postings.get(int(v))
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._postings[int(v)]
+
+    def on_mutation(self, event: str, user: int) -> None:
+        """Invalidate for one index mutation (the subscribe hook body)."""
+        with self._lock:
+            if self.mode == "full" or user < 0 or event == "rebuild":
+                # Full mode always clears; a rebuild replaces the whole
+                # edge set, so even partial mode has nothing to keep.
+                if self._entries:
+                    self.invalidations += len(self._entries)
+                    self._entries.clear()
+                    self._postings.clear()
+                return
+            for key in list(self._postings.get(user, ())):
+                self._drop(key)
+                self.invalidations += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._postings.clear()
+
+    def postings_size(self) -> int:
+        with self._lock:
+            return sum(len(keys) for keys in self._postings.values())
+
+
 class QueryEngine:
     """Serves top-k queries over an :class:`OnlineIndex`.
 
@@ -40,6 +153,10 @@ class QueryEngine:
         k: default neighbours per query.
         cache_size: maximum cached results (LRU eviction); 0 disables
             caching.
+        invalidation: ``"partial"`` (default — evict only answers the
+            mutation can have changed) or ``"full"`` (drop everything
+            on any mutation; the strict coherence mode). See the
+            module docstring for the exact contracts.
         searcher: a configured :class:`GraphSearcher` to use (one with
             default parameters is built otherwise).
     """
@@ -50,58 +167,46 @@ class QueryEngine:
         *,
         k: int = 10,
         cache_size: int = 1024,
+        invalidation: str = "partial",
         searcher: GraphSearcher | None = None,
     ) -> None:
         self.index = index
         self.searcher = searcher or GraphSearcher(index)
         self.default_k = int(k)
         self.cache_size = int(cache_size)
-        self._cache: OrderedDict[tuple, tuple[int, SearchResult]] = OrderedDict()
+        self._cache = _ResultCache(cache_size, mode=invalidation)
         self.n_queries = 0
         self.cache_hits = 0
         self.cache_misses = 0
         self.dedup_hits = 0
-        self.invalidations = 0
         self._pending: list[tuple[object, int | None, asyncio.Future]] = []
         self._flush_task: asyncio.Task | None = None
         index.subscribe(self._on_mutation)
 
+    @property
+    def invalidation(self) -> str:
+        """The cache's invalidation mode (``"partial"`` or ``"full"``)."""
+        return self._cache.mode
+
     def close(self) -> None:
-        """Detach the invalidation hook from the index."""
+        """Detach the invalidation hook from the index.
+
+        A closed engine stops observing mutations: in ``"full"`` mode
+        the version stamps still refuse stale entries on lookup, in
+        ``"partial"`` mode the cache is cleared here because nothing
+        will evict mutated answers anymore.
+        """
         self.index.unsubscribe(self._on_mutation)
+        if self._cache.mode == "partial":
+            self._cache.clear()
 
     # ------------------------------------------------------------------
     # Cache plumbing
     # ------------------------------------------------------------------
 
-    def _on_mutation(self, event: str, user: int) -> None:
-        """Index mutation hook: every cached answer is now suspect."""
-        if self._cache:
-            self.invalidations += len(self._cache)
-            self._cache.clear()
-
-    def _lookup(self, key: tuple) -> SearchResult | None:
-        entry = self._cache.get(key)
-        if entry is None:
-            return None
-        version, result = entry
-        if version != self.index.version:
-            # Belt and braces: a mutation that somehow bypassed the
-            # hook (e.g. a listener detached by close()) still cannot
-            # serve a stale answer — entries are version-stamped.
-            del self._cache[key]
-            self.invalidations += 1
-            return None
-        self._cache.move_to_end(key)
-        return result
-
-    def _store(self, key: tuple, result: SearchResult) -> None:
-        if self.cache_size <= 0:
-            return
-        self._cache[key] = (self.index.version, result)
-        self._cache.move_to_end(key)
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
+    def _on_mutation(self, event: str, user: int, deltas) -> None:
+        """Index mutation hook → evict what the mutation can have changed."""
+        self._cache.on_mutation(event, user)
 
     # ------------------------------------------------------------------
     # Sync entry points
@@ -127,7 +232,7 @@ class QueryEngine:
             ids = np.unique(np.asarray(profile, dtype=np.int64))
             canon.append(ids)
             key = (ids.tobytes(), k)
-            hit = self._lookup(key)
+            hit = self._cache.get(key, self.index.version)
             if hit is not None:
                 self.cache_hits += 1
                 results[pos] = hit
@@ -135,10 +240,13 @@ class QueryEngine:
                 misses.setdefault(key, []).append(pos)
         self.n_queries += len(profiles)
         for key, positions in misses.items():
+            version = self.index.version
             result = self.searcher.top_k(canon[positions[0]], k=k)
             self.cache_misses += 1
             self.dedup_hits += len(positions) - 1
-            self._store(key, result)
+            self._cache.put(
+                key, version, result, live_version=lambda: self.index.version
+            )
             for pos in positions:
                 results[pos] = result
         return results  # type: ignore[return-value]
@@ -183,6 +291,11 @@ class QueryEngine:
 
     # ------------------------------------------------------------------
 
+    @property
+    def invalidations(self) -> int:
+        """Cache entries dropped by mutations (and version mismatches)."""
+        return self._cache.invalidations
+
     def stats(self) -> dict:
         """Operational counters for dashboards and tests."""
         return {
@@ -190,7 +303,9 @@ class QueryEngine:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "dedup_hits": self.dedup_hits,
-            "invalidations": self.invalidations,
+            "invalidations": self._cache.invalidations,
+            "invalidation_mode": self._cache.mode,
             "cached_entries": len(self._cache),
+            "postings_entries": self._cache.postings_size(),
             "index_version": self.index.version,
         }

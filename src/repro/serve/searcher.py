@@ -23,12 +23,25 @@ similarity budget as builds and updates:
    ``ef`` best users seen so far, repeatedly expand the best
    unexpanded candidate's neighbour list, stop when the best remaining
    candidate cannot improve the result set. Expansion follows edges in
-   *both* directions (a lazily rebuilt reverse-adjacency index,
-   version-stamped against the index's mutation counter): a directed
-   top-k graph is a poor navigation structure on its own — u's true
-   neighbour v often keeps the edge v→u when u's list has no room for
-   v — and walking in-edges too recovers roughly ten recall points at
-   equal evaluation budget.
+   *both* directions: a directed top-k graph is a poor navigation
+   structure on its own — u's true neighbour v often keeps the edge
+   v→u when u's list has no room for v — and walking in-edges too
+   recovers roughly ten recall points at equal evaluation budget.
+
+The in-edge direction comes from the index's **incrementally
+maintained** :class:`~repro.graph.reverse.ReverseAdjacency`
+(:meth:`OnlineIndex.reverse_index`), patched per edge from each
+mutation's journal — so a write storm costs O(changed edges) of
+read-side maintenance, not an O(n·k) rebuild on the first query after
+every mutation. The old version-stamped full rebuild is retained
+(``reverse="rebuild"``) as a dependency-free fallback and as the
+oracle the property tests compare the maintained index against.
+
+For estimate backends (GoldFinger/Bloom), ``rerank="exact"`` re-scores
+the walk's final frontier — the ``ef`` best candidates, not just the
+returned ``k`` — with exact similarities over the raw profiles before
+truncation, recovering the ~5 recall points fingerprint noise costs at
+equal walk budget for ``ef`` extra (counted) exact evaluations.
 
 Because C² graphs are cluster-local by construction, a handful of hops
 reaches the true neighbourhood: recall@10 ≥ 0.9 of a brute-force scan
@@ -46,6 +59,7 @@ import numpy as np
 from ..graph.heap import EMPTY
 from ..online.index import OnlineIndex
 from ..similarity.engine import SimilarityEngine
+from ..similarity.jaccard import profile_intersections
 
 __all__ = ["SearchResult", "GraphSearcher", "brute_force_top_k"]
 
@@ -84,6 +98,16 @@ class GraphSearcher:
             the walk stops early rather than exceed it.
         use_reverse_edges: also expand along in-edges (default; see
             module docstring). Disable to walk out-edges only.
+        reverse: where in-edges come from. ``"incremental"`` (default)
+            reads the index's maintained
+            :meth:`~repro.online.OnlineIndex.reverse_index`;
+            ``"rebuild"`` keeps a private CSR copy rebuilt O(n·k) after
+            every mutation — the pre-incremental behaviour, kept as a
+            fallback and as the property tests' oracle.
+        rerank: ``"exact"`` re-scores the final frontier with exact
+            similarities over raw profiles before truncating to ``k``
+            (counted; recovers estimate-backend recall). ``None``
+            returns engine scores untouched.
     """
 
     def __init__(
@@ -94,15 +118,23 @@ class GraphSearcher:
         per_config: int = 16,
         budget: int | None = None,
         use_reverse_edges: bool = True,
+        reverse: str = "incremental",
+        rerank: str | None = None,
     ) -> None:
         if ef < 1:
             raise ValueError("ef must be >= 1")
+        if reverse not in ("incremental", "rebuild"):
+            raise ValueError("reverse must be 'incremental' or 'rebuild'")
+        if rerank not in (None, "exact"):
+            raise ValueError("rerank must be None or 'exact'")
         self.index = index
         self.ef = int(ef)
         self.per_config = int(per_config)
         self.budget = budget
         self.use_reverse_edges = bool(use_reverse_edges)
-        self._rev_version = -1  # index.version the reverse index matches
+        self.reverse = reverse
+        self.rerank = rerank
+        self._rev_version = -1  # index.version the rebuild-mode copy matches
         self._rev_sources = np.empty(0, dtype=np.int64)
         self._rev_indptr = np.zeros(1, dtype=np.int64)
 
@@ -142,6 +174,13 @@ class GraphSearcher:
         profile = np.unique(np.asarray(profile, dtype=np.int64))
         ef = max(int(ef or self.ef), int(k))
         budget = budget if budget is not None else self.budget
+        # Walks read shared graph state that mutations patch in place;
+        # the index's readers-writer lock keeps the two apart (many
+        # concurrent walks, mutations exclusive — see ShardedQueryEngine).
+        with self.index.lock.read():
+            return self._walk(profile, int(k), ef, budget, exclude, extra_seeds)
+
+    def _walk(self, profile, k, ef, budget, exclude, extra_seeds) -> SearchResult:
         engine = self.index.engine
         graph = self.index.graph
         active = self.index.dataset.active_mask()
@@ -172,7 +211,7 @@ class GraphSearcher:
             if len(result) > ef:
                 heapq.heappop(result)
 
-        self._refresh_reverse_index()
+        rev = self._reverse_source()
         hops = 0
         evals = int(seeds.size)
         while frontier:
@@ -181,7 +220,7 @@ class GraphSearcher:
                 break  # the best remaining candidate cannot improve the set
             fresh = [
                 int(v)
-                for v in self._adjacent(graph, node)
+                for v in self._adjacent(graph, node, rev)
                 if int(v) not in visited and active[v] and int(v) not in excluded
             ]
             if not fresh:
@@ -202,25 +241,54 @@ class GraphSearcher:
                     if len(result) > ef:
                         heapq.heappop(result)
 
-        best = sorted(((s, -neg_id) for s, neg_id in result), key=lambda t: (-t[0], t[1]))
-        best = best[: int(k)]
+        pool = sorted(((s, -neg_id) for s, neg_id in result), key=lambda t: (-t[0], t[1]))
+        if self.rerank == "exact" and pool:
+            # Re-score the whole final frontier (ef candidates), not
+            # just the top k of the estimates — the candidates exact
+            # scoring promotes into the top k are precisely the ones
+            # estimate noise demoted out of it.
+            cands = np.array([v for _, v in pool], dtype=np.int64)
+            exact = self._exact_scores(profile, cands)
+            engine.charge(cands.size)
+            order = np.lexsort((cands, -exact))[:k]
+            ids, scores = cands[order], exact[order]
+        else:
+            best = pool[:k]
+            ids = np.array([v for _, v in best], dtype=np.int64)
+            scores = np.array([s for s, _ in best], dtype=np.float64)
         return SearchResult(
-            ids=np.array([v for _, v in best], dtype=np.int64),
-            scores=np.array([s for s, _ in best], dtype=np.float64),
+            ids=ids,
+            scores=scores,
             evaluations=engine.comparisons - before,
             hops=hops,
         )
 
     # ------------------------------------------------------------------
 
+    def _reverse_source(self):
+        """Where this walk reads in-edges from (None = out-edges only).
+
+        Incremental mode returns the index's maintained
+        :class:`~repro.graph.reverse.ReverseAdjacency` (built once,
+        patched per mutation); rebuild mode refreshes the private CSR
+        copy and returns this searcher as the marker for it.
+        """
+        if not self.use_reverse_edges:
+            return None
+        if self.reverse == "incremental":
+            return self.index.reverse_index()
+        self._refresh_reverse_index()
+        return self
+
     def _refresh_reverse_index(self) -> None:
-        """(Re)build the in-edge adjacency if the graph has mutated.
+        """(Re)build the rebuild-mode in-edge CSR if the graph mutated.
 
         One vectorised O(n·k) group-by, amortised over every query
-        served between two index mutations — the read-side counterpart
-        of the heap tables' purge scan.
+        served between two index mutations. This is the pre-incremental
+        fallback — and the from-scratch oracle the property tests pit
+        the maintained reverse index against.
         """
-        if not self.use_reverse_edges or self._rev_version == self.index.version:
+        if self._rev_version == self.index.version:
             return
         heaps = self.index.graph.heaps
         valid = heaps.ids.ravel() != EMPTY
@@ -233,17 +301,39 @@ class GraphSearcher:
         )
         self._rev_version = self.index.version
 
-    def _adjacent(self, graph, node: int) -> np.ndarray:
+    def _adjacent(self, graph, node: int, rev) -> np.ndarray:
         """Neighbours of ``node`` in either edge direction."""
         out = graph.neighbors(node)
-        if not self.use_reverse_edges:
+        if rev is None:
             return out
-        incoming = self._rev_sources[
-            self._rev_indptr[node] : self._rev_indptr[node + 1]
-        ]
+        if rev is self:  # rebuild-mode CSR copy
+            incoming = self._rev_sources[
+                self._rev_indptr[node] : self._rev_indptr[node + 1]
+            ]
+        else:  # the index's maintained ReverseAdjacency
+            incoming = rev.holders(node)
         if incoming.size == 0:
             return out
         return np.unique(np.concatenate([out.astype(np.int64), incoming]))
+
+    def _exact_scores(self, profile: np.ndarray, users: np.ndarray) -> np.ndarray:
+        """Exact similarity of ``profile`` vs ``users`` from raw profiles.
+
+        Used by ``rerank="exact"``: estimate backends keep serving the
+        walk from fingerprints, only the final frontier pays for exact
+        scoring (the caller charges the engine for these evaluations).
+        Honours the engine's metric where it has one (exact cosine
+        engines re-rank with cosine).
+        """
+        inter, sizes = profile_intersections(self.index.dataset, profile, users)
+        if getattr(self.engine, "metric", "jaccard") == "cosine":
+            denom = np.sqrt(float(profile.size) * sizes)
+        else:
+            denom = profile.size + sizes - inter
+        out = np.zeros(users.size, dtype=np.float64)
+        nz = denom > 0
+        out[nz] = inter[nz] / denom[nz]
+        return out
 
     def _seeds(
         self,

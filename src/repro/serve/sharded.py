@@ -1,0 +1,271 @@
+"""Sharded query serving — one front end, N searcher workers.
+
+A single :class:`~repro.serve.engine.QueryEngine` walks queries one at
+a time; a CPU-bound serving tier wants the deduped misses of each
+batch spread across workers. :class:`ShardedQueryEngine` keeps the
+front-end duties in one place — canonicalisation, the shared LRU
+result cache with partial invalidation, batch dedup — and partitions
+the remaining misses by a stable hash of the canonical profile across
+``n_shards`` workers:
+
+* ``executor="thread"`` (default): one :class:`GraphSearcher` per
+  shard on a shared :class:`~concurrent.futures.ThreadPoolExecutor`.
+  The similarity kernels spend their time in numpy/scipy calls that
+  release the GIL, and walks take the index's readers-writer lock, so
+  queries overlap each other and only serialise against mutations —
+  this is the mode that stays correct under write storms.
+* ``executor="process"``: workers hold a pickled **snapshot** of the
+  index and answer from it with zero shared state. A mutation marks
+  the pool stale and the next batch re-forks it from the live index —
+  cheap for read-mostly tiers, wasteful under write storms (use
+  threads there). Results are identical to thread mode because the
+  searcher is deterministic in the index state.
+
+Sharding never changes answers: the same deterministic searcher
+configuration runs in every worker, so a sharded batch returns exactly
+what a single-worker engine would (property-tested).
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import zlib
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+import numpy as np
+
+from ..online.index import OnlineIndex
+from .engine import _ResultCache
+from .searcher import GraphSearcher, SearchResult
+
+__all__ = ["ShardedQueryEngine"]
+
+
+# Process-mode worker state: each worker process builds one searcher
+# from the snapshot shipped at pool (re)creation and serves from it.
+_WORKER: dict = {}
+
+
+def _proc_init(payload: bytes, searcher_kwargs: dict) -> None:
+    index = pickle.loads(payload)
+    _WORKER["searcher"] = GraphSearcher(index, **searcher_kwargs)
+
+
+def _proc_search(profiles: list, k: int) -> list[SearchResult]:
+    searcher = _WORKER["searcher"]
+    return [searcher.top_k(p, k=k) for p in profiles]
+
+
+class ShardedQueryEngine:
+    """Batch query serving partitioned across ``n_shards`` workers.
+
+    Args:
+        index: the maintained index to serve from.
+        n_shards: worker count; deduped batch misses are partitioned
+            by a stable hash of the canonical profile.
+        k: default neighbours per query.
+        cache_size: shared front-end LRU size (0 disables caching).
+        invalidation: cache mode, ``"partial"`` (default) or
+            ``"full"`` — same contracts as :class:`QueryEngine`.
+        executor: ``"thread"`` (default; safe under concurrent
+            mutations) or ``"process"`` (snapshot workers, re-forked
+            after mutations — read-mostly tiers).
+        searcher_kwargs: forwarded to each shard's
+            :class:`GraphSearcher` (``ef``, ``budget``, ``rerank``, …).
+    """
+
+    def __init__(
+        self,
+        index: OnlineIndex,
+        n_shards: int = 2,
+        *,
+        k: int = 10,
+        cache_size: int = 1024,
+        invalidation: str = "partial",
+        executor: str = "thread",
+        searcher_kwargs: dict | None = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if executor not in ("thread", "process"):
+            raise ValueError("executor must be 'thread' or 'process'")
+        self.index = index
+        self.n_shards = int(n_shards)
+        self.default_k = int(k)
+        self.executor = executor
+        self.searcher_kwargs = dict(searcher_kwargs or {})
+        self._cache = _ResultCache(cache_size, mode=invalidation)
+        self._stats_lock = threading.Lock()
+        self.n_queries = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.dedup_hits = 0
+        self._pool_lock = threading.Lock()
+        self._stale = True  # process pool not yet forked
+        if executor == "thread":
+            self._searchers = [
+                GraphSearcher(index, **self.searcher_kwargs)
+                for _ in range(self.n_shards)
+            ]
+            # Rebuild-mode searchers mutate private CSR state; a
+            # per-shard lock keeps a shard reentrant when two batches
+            # land on it concurrently.
+            self._shard_locks = [threading.Lock() for _ in range(self.n_shards)]
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.n_shards, thread_name_prefix="repro-shard"
+            )
+        else:
+            self._searchers = []
+            self._shard_locks = []
+            self._pool = None
+        index.subscribe(self._on_mutation)
+
+    # ------------------------------------------------------------------
+
+    def _on_mutation(self, event: str, user: int, deltas) -> None:
+        self._cache.on_mutation(event, user)
+        if self.executor == "process":
+            self._stale = True  # workers hold a pre-mutation snapshot
+
+    def _shard_of(self, key: tuple) -> int:
+        """Stable profile→shard assignment (independent of batch order)."""
+        return zlib.crc32(key[0]) % self.n_shards
+
+    def _run_shard(self, shard: int, items: list, k: int) -> list:
+        searcher = self._searchers[shard]
+        out = []
+        with self._shard_locks[shard]:
+            for key, profile in items:
+                out.append((key, searcher.top_k(profile, k=k)))
+        return out
+
+    def _ensure_process_pool(self) -> ProcessPoolExecutor:
+        """(Re)fork the worker pool if stale; caller holds ``_pool_lock``.
+
+        The stale flag is cleared *before* the snapshot is taken: a
+        mutation landing mid-pickle re-raises it (one redundant re-fork,
+        never a lost one), and the snapshot itself is read under the
+        index lock so a concurrent mutation cannot tear it.
+        """
+        if self._pool is None or self._stale:
+            if self._pool is not None:
+                self._pool.shutdown()
+            self._stale = False
+            with self.index.lock.read():
+                payload = pickle.dumps(self.index)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_shards,
+                initializer=_proc_init,
+                initargs=(payload, self.searcher_kwargs),
+            )
+        return self._pool
+
+    # ------------------------------------------------------------------
+
+    def search(self, profile, k: int | None = None) -> SearchResult:
+        """Top-k neighbours of one profile (cached)."""
+        return self.search_many([profile], k=k)[0]
+
+    def search_many(self, profiles, k: int | None = None) -> list[SearchResult]:
+        """Serve a batch: cache, dedup, then fan the misses out.
+
+        Thread-safe — the concurrency tests hammer one engine from
+        many threads while mutations stream in; the shared cache and
+        counters take their own locks and every walk runs under the
+        index's read lock.
+        """
+        k = int(k if k is not None else self.default_k)
+        results: list[SearchResult | None] = [None] * len(profiles)
+        canon: list[np.ndarray] = []
+        misses: OrderedDict[tuple, list[int]] = OrderedDict()
+        hits = 0
+        for pos, profile in enumerate(profiles):
+            ids = np.unique(np.asarray(profile, dtype=np.int64))
+            canon.append(ids)
+            key = (ids.tobytes(), k)
+            hit = self._cache.get(key, self.index.version)
+            if hit is not None:
+                hits += 1
+                results[pos] = hit
+            else:
+                misses.setdefault(key, []).append(pos)
+
+        answered: dict[tuple, SearchResult] = {}
+        if misses:
+            version = self.index.version
+            shards: dict[int, list[tuple[tuple, np.ndarray]]] = {}
+            for key, positions in misses.items():
+                shards.setdefault(self._shard_of(key), []).append(
+                    (key, canon[positions[0]])
+                )
+            if self.executor == "thread":
+                futures = [
+                    self._pool.submit(self._run_shard, shard, items, k)
+                    for shard, items in shards.items()
+                ]
+            else:
+                # Submit under the pool lock: another thread's re-fork
+                # (or close()) must not shut this pool down between the
+                # staleness check and the submits.
+                with self._pool_lock:
+                    pool = self._ensure_process_pool()
+                    futures = [
+                        pool.submit(_proc_search, [p for _, p in items], k)
+                        for items in shards.values()
+                    ]
+            if self.executor == "thread":
+                for future in futures:
+                    for key, result in future.result():
+                        answered[key] = result
+            else:
+                for future, items in zip(futures, shards.values()):
+                    for (key, _), result in zip(items, future.result()):
+                        answered[key] = result
+            for key, result in answered.items():
+                self._cache.put(
+                    key, version, result, live_version=lambda: self.index.version
+                )
+            for key, positions in misses.items():
+                for pos in positions:
+                    results[pos] = answered[key]
+
+        with self._stats_lock:
+            self.n_queries += len(profiles)
+            self.cache_hits += hits
+            self.cache_misses += len(misses)
+            self.dedup_hits += sum(len(p) - 1 for p in misses.values())
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach from the index and shut the worker pool down.
+
+        As with :meth:`QueryEngine.close`, a closed partial-mode cache
+        is cleared — nothing would ever evict mutated answers from it.
+        """
+        self.index.unsubscribe(self._on_mutation)
+        if self._cache.mode == "partial":
+            self._cache.clear()
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown()
+                self._pool = None
+
+    def stats(self) -> dict:
+        """Operational counters for dashboards and tests."""
+        with self._stats_lock:
+            return {
+                "n_queries": self.n_queries,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "dedup_hits": self.dedup_hits,
+                "invalidations": self._cache.invalidations,
+                "invalidation_mode": self._cache.mode,
+                "cached_entries": len(self._cache),
+                "n_shards": self.n_shards,
+                "executor": self.executor,
+                "index_version": self.index.version,
+            }

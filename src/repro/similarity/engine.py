@@ -44,6 +44,15 @@ class SimilarityEngine(ABC):
         self._count = 0
         self._lock = threading.Lock()
 
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_lock"] = None  # locks cannot cross process boundaries
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     # -- cost accounting ------------------------------------------------
 
     @property

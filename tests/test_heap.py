@@ -183,3 +183,88 @@ class TestGeometricGrowth:
         rows = h.purge_id(9)
         assert list(rows) == [3]
         assert h.size(3) == 0
+
+
+class TestEdgeJournal:
+    """The journal must record exactly the structural edge changes."""
+
+    def _journaled(self, n=6, k=3):
+        h = NeighborHeaps(n, k)
+        h.attach_journal()
+        return h
+
+    def test_detached_by_default(self):
+        h = NeighborHeaps(4, 2)
+        h.push(0, 1, 0.5)
+        assert h.journal is None
+        assert h.drain_journal() == []
+
+    def test_push_records_add(self):
+        h = self._journaled()
+        h.push(0, 1, 0.5)
+        assert h.drain_journal() == [(0, 1, True)]
+        assert h.drain_journal() == []  # drained
+
+    def test_push_eviction_records_drop_then_add(self):
+        h = self._journaled(k=1)
+        h.push(0, 1, 0.5)
+        h.drain_journal()
+        h.push(0, 2, 0.9)  # evicts 1
+        assert h.drain_journal() == [(0, 1, False), (0, 2, True)]
+
+    def test_score_improvement_is_not_structural(self):
+        h = self._journaled()
+        h.push(0, 1, 0.5)
+        h.drain_journal()
+        h.push(0, 1, 0.8)  # same edge, better score
+        assert h.drain_journal() == []
+
+    def test_rejected_push_records_nothing(self):
+        h = self._journaled(k=1)
+        h.push(0, 1, 0.9)
+        h.drain_journal()
+        assert not h.push(0, 2, 0.5)
+        assert h.drain_journal() == []
+
+    def test_push_batch_records_net_change(self):
+        h = self._journaled(k=2)
+        h.push_batch(0, np.array([1, 2]), np.array([0.5, 0.6]))
+        assert sorted(h.drain_journal()) == [(0, 1, True), (0, 2, True)]
+        h.push_batch(0, np.array([3]), np.array([0.9]))  # evicts 1 (min)
+        assert sorted(h.drain_journal()) == [(0, 1, False), (0, 3, True)]
+
+    def test_clear_and_purge_record_drops(self):
+        h = self._journaled()
+        h.push(0, 1, 0.5)
+        h.push(2, 1, 0.4)
+        h.push(2, 3, 0.6)
+        h.drain_journal()
+        h.clear_row(2)
+        assert sorted(h.drain_journal()) == [(2, 1, False), (2, 3, False)]
+        h.purge_id(1)
+        assert h.drain_journal() == [(0, 1, False)]
+
+    def test_purge_id_rows_matches_full_purge(self):
+        full = NeighborHeaps(8, 3)
+        targeted = NeighborHeaps(8, 3)
+        for h in (full, targeted):
+            rng = np.random.default_rng(4)  # identical fills for both
+            for u in range(8):
+                for v in rng.choice(8, size=3, replace=False):
+                    if v != u:
+                        h.push(u, int(v), float(rng.random()))
+        # identical fill order → identical tables
+        holders = np.flatnonzero((targeted.ids == 5).any(axis=1))
+        a = full.purge_id(5)
+        b = targeted.purge_id_rows(5, holders)
+        assert np.array_equal(a, b)
+        assert np.array_equal(full.ids, targeted.ids)
+        assert np.array_equal(full.scores, targeted.scores)
+
+    def test_purge_id_rows_ignores_rows_without_the_id(self):
+        h = self._journaled()
+        h.push(0, 1, 0.5)
+        h.drain_journal()
+        rows = h.purge_id_rows(1, np.array([0, 2, 4]))
+        assert list(rows) == [0]
+        assert h.drain_journal() == [(0, 1, False)]

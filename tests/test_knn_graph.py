@@ -124,3 +124,61 @@ class TestMetrics:
 
         true = jaccard_pair(small_dataset.profile(0), small_dataset.profile(1))
         assert avg == pytest.approx(true / (10 * small_dataset.n_users))
+
+
+class TestReverseAdjacency:
+    """In-edge sets: cold build, per-edge patching, targeted detach."""
+
+    def _graph(self, n=10, k=3, seed=2):
+        from repro.graph import KNNGraph
+
+        g = KNNGraph(n, k)
+        rng = np.random.default_rng(seed)
+        for u in range(n):
+            cands = rng.choice(n - 1, size=k, replace=False)
+            cands[cands >= u] += 1
+            g.add_batch(u, cands, rng.random(k))
+        return g
+
+    def test_from_heaps_matches_bruteforce(self):
+        from repro.graph import EMPTY, ReverseAdjacency
+
+        g = self._graph()
+        rev = ReverseAdjacency.from_heaps(g.heaps)
+        for v in range(g.n_users):
+            expected = {
+                u for u in range(g.n_users) if (g.heaps.ids[u] == v).any()
+            }
+            assert set(rev.holders(v)) == expected
+            assert rev.degree(v) == len(expected)
+
+    def test_apply_tracks_journal(self):
+        from repro.graph import ReverseAdjacency
+
+        g = self._graph()
+        rev = ReverseAdjacency.from_heaps(g.heaps)
+        g.heaps.attach_journal()
+        rng = np.random.default_rng(7)
+        for _ in range(60):
+            u, v = rng.choice(g.n_users, size=2, replace=False)
+            g.add(int(u), int(v), float(rng.random()))
+            rev.apply(g.heaps.drain_journal())
+            assert rev.to_sets() == ReverseAdjacency.from_heaps(g.heaps).to_sets()
+
+    def test_grow_extends_with_empty_sets(self):
+        from repro.graph import ReverseAdjacency
+
+        rev = ReverseAdjacency(3)
+        rev.grow(6)
+        assert rev.n == 6
+        assert rev.holders(5).size == 0
+
+    def test_remove_user_with_holders_matches_scan(self):
+        from repro.graph import ReverseAdjacency
+
+        a, b = self._graph(seed=5), self._graph(seed=5)
+        rev = ReverseAdjacency.from_heaps(b.heaps)
+        losers_scan = a.remove_user(4)
+        losers_targeted = b.remove_user(4, holders=rev.holders(4))
+        assert np.array_equal(losers_scan, losers_targeted)
+        assert np.array_equal(a.heaps.ids, b.heaps.ids)

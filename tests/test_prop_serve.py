@@ -53,7 +53,10 @@ def _random_profile(index, rng):
 @pytest.mark.parametrize("seed", [0, 1, 2])
 def test_cache_never_serves_stale_neighbors(seed):
     index = _index(seed)
-    queries = QueryEngine(index, k=K)
+    # Full invalidation is the mode with the strict contract this test
+    # asserts (cached answer == fresh search, always); the relaxed
+    # partial mode has its own suite in test_prop_serve_incremental.py.
+    queries = QueryEngine(index, k=K, invalidation="full")
     oracle = GraphSearcher(index)  # same defaults as the engine's searcher
     rng = np.random.default_rng(seed + 100)
     hits_checked = 0

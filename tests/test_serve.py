@@ -177,6 +177,46 @@ class TestGraphSearcher:
         assert ref.ids[0] == 2 and ref.scores[0] == pytest.approx(1.0)
 
 
+class TestExactRerank:
+    """rerank="exact" re-scores the final frontier from raw profiles."""
+
+    def test_invalid_params_rejected(self, served_index):
+        with pytest.raises(ValueError):
+            GraphSearcher(served_index, rerank="approximate")
+        with pytest.raises(ValueError):
+            GraphSearcher(served_index, reverse="csr")
+
+    def test_rerank_scores_are_exact_jaccard(self, small_dataset):
+        index = OnlineIndex.build(small_dataset, params=_params(), backend="goldfinger")
+        searcher = GraphSearcher(index, rerank="exact")
+        profile = np.unique(small_dataset.profile(3)[:12])
+        result = searcher.top_k(profile, k=5)
+        for v, s in zip(result.ids, result.scores):
+            other = small_dataset.profile(int(v))
+            inter = np.intersect1d(profile, other).size
+            union = profile.size + other.size - inter
+            assert s == pytest.approx(inter / union)
+
+    def test_rerank_evaluations_are_charged(self, small_dataset):
+        index = OnlineIndex.build(small_dataset, params=_params(), backend="goldfinger")
+        plain = GraphSearcher(index)
+        rerank = GraphSearcher(index, rerank="exact")
+        profile = small_dataset.profile(9)[:15]
+        before = index.engine.comparisons
+        result = rerank.top_k(profile, k=5)
+        assert index.engine.comparisons - before == result.evaluations
+        # the frontier re-scoring costs extra (counted) evaluations
+        assert result.evaluations > plain.top_k(profile, k=5).evaluations
+
+    def test_rerank_deterministic(self, small_dataset):
+        index = OnlineIndex.build(small_dataset, params=_params(), backend="goldfinger")
+        searcher = GraphSearcher(index, rerank="exact")
+        a = searcher.top_k([1, 5, 9, 200], k=6)
+        b = searcher.top_k([1, 5, 9, 200], k=6)
+        assert np.array_equal(a.ids, b.ids)
+        assert a.scores == pytest.approx(b.scores)
+
+
 class TestOutOfSampleRecall:
     """Graph-walk answers must track brute force for unseen profiles."""
 
@@ -209,15 +249,66 @@ class TestQueryEngine:
         finally:
             queries.close()
 
-    def test_mutation_invalidates_cache(self, small_dataset):
+    def test_mutation_invalidates_cache_full_mode(self, small_dataset):
         index = OnlineIndex.build(small_dataset, params=_params())
-        queries = QueryEngine(index)
+        queries = QueryEngine(index, invalidation="full")
         try:
             a = queries.search([1, 2, 3])
             index.add_items(0, [small_dataset.n_items - 1])
             b = queries.search([1, 2, 3])
             assert b is not a
             assert queries.stats()["invalidations"] >= 1
+        finally:
+            queries.close()
+
+    def test_partial_mode_evicts_entries_touching_mutated_user(self, small_dataset):
+        index = OnlineIndex.build(small_dataset, params=_params())
+        queries = QueryEngine(index)  # partial is the default
+        try:
+            assert queries.invalidation == "partial"
+            a = queries.search([1, 2, 3])
+            victim = int(a.ids[0])
+            index.add_items(victim, [small_dataset.n_items - 1])
+            b = queries.search([1, 2, 3])
+            assert b is not a  # result set contained the mutated user
+            assert queries.stats()["invalidations"] >= 1
+        finally:
+            queries.close()
+
+    def test_partial_mode_keeps_untouched_entries(self, small_dataset):
+        index = OnlineIndex.build(small_dataset, params=_params())
+        queries = QueryEngine(index)
+        try:
+            a = queries.search([1, 2, 3])
+            bystander = int(
+                np.setdiff1d(index.dataset.active_users(), a.ids)[0]
+            )
+            index.add_items(bystander, [small_dataset.n_items - 1])
+            assert queries.search([1, 2, 3]) is a  # survived the write
+            assert queries.stats()["cache_hits"] == 1
+        finally:
+            queries.close()
+
+    def test_partial_mode_never_serves_removed_user(self, small_dataset):
+        index = OnlineIndex.build(small_dataset, params=_params())
+        queries = QueryEngine(index)
+        try:
+            a = queries.search([1, 2, 3])
+            victim = int(a.ids[0])
+            index.remove_user(victim)
+            b = queries.search([1, 2, 3])
+            assert b is not a
+            assert victim not in b.ids
+        finally:
+            queries.close()
+
+    def test_rebuild_clears_partial_cache(self, small_dataset):
+        index = OnlineIndex.build(small_dataset, params=_params())
+        queries = QueryEngine(index)
+        try:
+            a = queries.search([1, 2, 3])
+            index.rebuild()
+            assert queries.search([1, 2, 3]) is not a
         finally:
             queries.close()
 
@@ -246,12 +337,22 @@ class TestQueryEngine:
 
     def test_close_detaches_hook(self, small_dataset):
         index = OnlineIndex.build(small_dataset, params=_params())
-        queries = QueryEngine(index)
+        queries = QueryEngine(index, invalidation="full")
         queries.close()
         index.add_items(0, [small_dataset.n_items - 1])  # must not raise
-        # version stamps still protect against stale reads post-close
+        # full mode: version stamps still protect stale reads post-close
         a = queries.search([4, 5])
         index.add_items(1, [small_dataset.n_items - 1])
+        assert queries.search([4, 5]) is not a
+
+    def test_close_clears_partial_cache(self, small_dataset):
+        # A closed partial-mode engine no longer sees mutations, so it
+        # must not keep answers around that nothing will ever evict.
+        index = OnlineIndex.build(small_dataset, params=_params())
+        queries = QueryEngine(index)
+        a = queries.search([4, 5])
+        queries.close()
+        assert queries.stats()["cached_entries"] == 0
         assert queries.search([4, 5]) is not a
 
     def test_async_concurrent_queries_share_one_batch(self, served_index):

@@ -1,0 +1,195 @@
+"""Tests for the sharded serving front end (repro.serve.sharded).
+
+Two properties matter: sharding must never change answers (the same
+deterministic searcher runs in every worker, so a sharded batch equals
+a single-worker batch), and the engine must survive being hammered
+from many threads while mutations stream in (walks run under the
+index's read lock, mutations under its write lock).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import C2Params
+from repro.online import OnlineIndex
+from repro.serve import QueryEngine, ShardedQueryEngine
+
+
+def _params(**kw):
+    base = dict(k=8, n_buckets=64, n_hashes=4, split_threshold=80, seed=1)
+    base.update(kw)
+    return C2Params(**base)
+
+
+@pytest.fixture(scope="module")
+def sharded_index(small_dataset):
+    return OnlineIndex.build(small_dataset, params=_params())
+
+
+def _batch(rng, n_items, size=16):
+    return [rng.integers(0, n_items, size=int(rng.integers(3, 12))) for _ in range(size)]
+
+
+class TestShardedDeterminism:
+    def test_matches_single_worker(self, small_dataset, sharded_index):
+        rng = np.random.default_rng(0)
+        batch = _batch(rng, small_dataset.n_items)
+        sharded = ShardedQueryEngine(sharded_index, n_shards=3, cache_size=0)
+        single = QueryEngine(sharded_index, cache_size=0)
+        try:
+            a = sharded.search_many(batch)
+            b = single.search_many(batch)
+            for x, y in zip(a, b):
+                assert np.array_equal(x.ids, y.ids)
+                assert x.scores == pytest.approx(y.scores)
+        finally:
+            sharded.close()
+            single.close()
+
+    def test_shard_count_does_not_change_results(self, small_dataset, sharded_index):
+        rng = np.random.default_rng(1)
+        batch = _batch(rng, small_dataset.n_items)
+        outs = []
+        for n_shards in (1, 2, 4):
+            engine = ShardedQueryEngine(sharded_index, n_shards=n_shards, cache_size=0)
+            try:
+                outs.append(engine.search_many(batch))
+            finally:
+                engine.close()
+        for results in outs[1:]:
+            for x, y in zip(outs[0], results):
+                assert np.array_equal(x.ids, y.ids)
+
+    def test_process_executor_matches_thread(self, small_dataset, sharded_index):
+        rng = np.random.default_rng(2)
+        batch = _batch(rng, small_dataset.n_items, size=6)
+        procs = ShardedQueryEngine(
+            sharded_index, n_shards=2, executor="process", cache_size=0
+        )
+        threads = ShardedQueryEngine(sharded_index, n_shards=2, cache_size=0)
+        try:
+            a = procs.search_many(batch)
+            b = threads.search_many(batch)
+            for x, y in zip(a, b):
+                assert np.array_equal(x.ids, y.ids)
+                assert x.scores == pytest.approx(y.scores)
+        finally:
+            procs.close()
+            threads.close()
+
+    def test_process_pool_resyncs_after_mutation(self, small_dataset):
+        index = OnlineIndex.build(small_dataset, params=_params())
+        # cache_size=0: the partial cache would (by design) keep serving
+        # the pre-signup answer — here we exercise the pool resync itself.
+        procs = ShardedQueryEngine(index, n_shards=2, executor="process", cache_size=0)
+        oracle = QueryEngine(index, cache_size=0)
+        query = small_dataset.profile(3)
+        try:
+            before = procs.search(query)
+            assert 3 in before.ids  # sanity: the twin user tops the list
+            uid = index.add_user(query)  # identical signup (score 1.0)
+            after = procs.search(query)
+            fresh = oracle.search(query)
+            assert np.array_equal(after.ids, fresh.ids)  # snapshot was re-forked
+            assert uid in after.ids  # the worker snapshot saw the signup
+        finally:
+            procs.close()
+            oracle.close()
+
+
+class TestShardedFrontEnd:
+    def test_validation(self, sharded_index):
+        with pytest.raises(ValueError):
+            ShardedQueryEngine(sharded_index, n_shards=0)
+        with pytest.raises(ValueError):
+            ShardedQueryEngine(sharded_index, executor="greenlet")
+
+    def test_cache_and_dedup(self, sharded_index):
+        engine = ShardedQueryEngine(sharded_index, n_shards=2)
+        try:
+            a = engine.search_many([[1, 2], [2, 1], [5, 9]])
+            assert a[0] is a[1]  # deduped within the batch
+            b = engine.search([1, 2])
+            assert b is a[0]  # served from the shared cache
+            stats = engine.stats()
+            assert stats["cache_hits"] == 1
+            assert stats["dedup_hits"] == 1
+            assert stats["cache_misses"] == 2
+        finally:
+            engine.close()
+
+    def test_partial_invalidation_is_wired(self, small_dataset):
+        index = OnlineIndex.build(small_dataset, params=_params())
+        engine = ShardedQueryEngine(index, n_shards=2)
+        try:
+            a = engine.search([1, 2, 3])
+            victim = int(a.ids[0])
+            index.add_items(victim, [small_dataset.n_items - 1])
+            assert engine.search([1, 2, 3]) is not a
+            bystander_result = engine.search([7, 8])
+            other = int(
+                np.setdiff1d(index.dataset.active_users(), bystander_result.ids)[0]
+            )
+            index.add_items(other, [small_dataset.n_items - 2])
+            assert engine.search([7, 8]) is bystander_result
+        finally:
+            engine.close()
+
+
+class TestShardedConcurrency:
+    def test_queries_race_mutations(self, small_dataset):
+        """Hammer one engine from 4 threads while mutations stream in."""
+        index = OnlineIndex.build(small_dataset, params=_params())
+        engine = ShardedQueryEngine(index, n_shards=2)
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def reader(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            try:
+                while not stop.is_set():
+                    results = engine.search_many(
+                        _batch(rng, small_dataset.n_items, size=4)
+                    )
+                    for r in results:
+                        assert np.unique(r.ids).size == r.ids.size
+                        assert np.all(r.ids < index.n_users)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader, args=(s,)) for s in range(4)]
+        try:
+            for t in threads:
+                t.start()
+            rng = np.random.default_rng(99)
+            for _ in range(25):
+                op = rng.random()
+                active = index.dataset.active_users()
+                if op < 0.5 and active.size:
+                    index.add_items(
+                        int(rng.choice(active)),
+                        rng.integers(0, index.dataset.n_items, size=2),
+                    )
+                elif op < 0.8:
+                    index.add_user(rng.integers(0, index.dataset.n_items, size=12))
+                elif active.size > 200:
+                    index.remove_user(int(rng.choice(active)))
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=30)
+            engine.close()
+        assert not errors, errors
+        assert not any(t.is_alive() for t in threads)
+        # After the storm the index is still coherent: an uncached walk
+        # succeeds and returns a well-formed, active-only result set.
+        oracle = QueryEngine(index, cache_size=0)
+        try:
+            fresh = oracle.search([1, 2, 3])
+            active = index.dataset.active_mask()
+            assert np.unique(fresh.ids).size == fresh.ids.size
+            assert all(active[v] for v in fresh.ids)
+        finally:
+            oracle.close()
