@@ -19,7 +19,6 @@ from repro.core import (
     make_hash_family,
 )
 from repro.core.theory import (
-    count_collisions,
     empirical_same_hash_probability,
     paper_numeric_example,
 )

@@ -1,6 +1,6 @@
 """Benchmark harness: workloads, runner, table reporting."""
 
-from .report import emit, format_table, results_dir
+from .report import emit, emit_json, format_table, results_dir
 from .runner import (
     ALGORITHMS,
     Run,
@@ -23,6 +23,7 @@ __all__ = [
     "Workload",
     "bench_scale",
     "emit",
+    "emit_json",
     "evaluate_run",
     "exact_graph",
     "format_table",

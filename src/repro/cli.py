@@ -41,7 +41,7 @@ from .data import dataset_names, describe, load, load_dataset
 from .online import OnlineIndex
 from .recommend import evaluate_recall
 from .serve import GraphSearcher, QueryEngine, ShardedQueryEngine, brute_force_top_k
-from .similarity import ExactEngine, make_engine
+from .similarity import make_engine
 
 __all__ = ["main"]
 
@@ -162,7 +162,13 @@ def _cmd_serve_demo(args) -> int:
     index = OnlineIndex.build(dataset, params=workload.c2_params)
     rerank = None if args.rerank == "none" else args.rerank
     searcher = GraphSearcher(index, ef=args.ef, budget=args.budget, rerank=rerank)
-    if args.shards > 1:
+    if args.replicas > 0:
+        queries = ShardedQueryEngine(
+            index, args.replicas, k=args.topk, replicas=True,
+            routing=args.routing, executor=args.replica_executor,
+            searcher_kwargs=dict(ef=args.ef, budget=args.budget, rerank=rerank),
+        )
+    elif args.shards > 1:
         queries = ShardedQueryEngine(
             index, args.shards, k=args.topk,
             searcher_kwargs=dict(ef=args.ef, budget=args.budget, rerank=rerank),
@@ -276,6 +282,16 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="hard cap on similarity evaluations per query")
     p.add_argument("--shards", type=int, default=1,
                    help="serve through a ShardedQueryEngine with N thread workers")
+    p.add_argument("--replicas", type=int, default=0,
+                   help="serve through N per-shard replica indexes fed by "
+                        "journal-delta shipping (overrides --shards)")
+    p.add_argument("--routing", default="round_robin",
+                   choices=["round_robin", "least_loaded", "hash"],
+                   help="miss-routing policy across replicas")
+    p.add_argument("--replica-executor", default="thread",
+                   choices=["thread", "process"],
+                   help="replica transport: in-process clones or pinned "
+                        "worker pools fed a pickled delta queue")
     p.add_argument("--rerank", default="none", choices=["none", "exact"],
                    help="re-score the walk's final frontier with exact similarities")
     p.set_defaults(fn=_cmd_serve_demo)

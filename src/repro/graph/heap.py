@@ -161,6 +161,57 @@ class NeighborHeaps:
                 self.journal.extend((int(u), v, False) for u in rows)
         return rows
 
+    def apply_edge_deltas(self, edges) -> None:
+        """Replay shipped ``(u, v, added, score)`` deltas onto this table.
+
+        The replica-side write path: a primary journals its structural
+        edge changes, ships them (with the post-mutation score looked
+        up per added edge), and the replica replays them here without
+        any capacity-eviction logic of its own — the journal already
+        recorded every eviction as an explicit removal, so a free slot
+        is guaranteed for every add. Raises ``ValueError`` when the
+        guarantee is violated (a gap in the delta stream); callers
+        treat that as "resync from a fresh snapshot".
+
+        Replays are journaled like any other structural change, so a
+        replica's own subscribers (reverse adjacency, caches) keep
+        composing.
+        """
+        for u, v, added, score in edges:
+            row = self.ids[u]
+            slot = np.flatnonzero(row == v)
+            if added:
+                if slot.size:  # re-add after a drop in the same stream
+                    self.scores[u, int(slot[0])] = score
+                    continue
+                free = np.flatnonzero(row == EMPTY)
+                if not free.size:
+                    raise ValueError(
+                        f"no free slot for shipped edge {u}->{v} "
+                        "(delta stream out of order or incomplete)"
+                    )
+                self.ids[u, int(free[0])] = v
+                self.scores[u, int(free[0])] = score
+                if self.journal is not None:
+                    self.journal.append((int(u), int(v), True))
+            elif slot.size:
+                self.ids[u, int(slot[0])] = EMPTY
+                self.scores[u, int(slot[0])] = -np.inf
+                if self.journal is not None:
+                    self.journal.append((int(u), int(v), False))
+
+    def edge_sets(self) -> list[set[int]]:
+        """Per-row neighbour-id sets (slot-order independent).
+
+        The convergence currency of the replica tier: two tables whose
+        ``edge_sets`` match serve identical graph walks regardless of
+        slot layout or score drift (the searcher scores candidates
+        against the query, never from the stored edge scores).
+        """
+        return [
+            set(int(v) for v in row[row != EMPTY]) for row in self.ids
+        ]
+
     # ------------------------------------------------------------------
 
     def push(self, u: int, v: int, score: float) -> bool:

@@ -89,6 +89,20 @@ class ReverseAdjacency:
             else:
                 rows[v].discard(u)
 
+    def apply_scored(self, edges) -> None:
+        """Patch in replica-shipped ``(u, v, added, score)`` deltas.
+
+        The scored variant of :meth:`apply` for the delta-shipping
+        tier: scores ride along for the heap replay and are ignored
+        here — the in-edge sets only care about structure.
+        """
+        rows = self._in
+        for u, v, added, _score in edges:
+            if added:
+                rows[v].add(u)
+            else:
+                rows[v].discard(u)
+
     def to_sets(self) -> list[set[int]]:
         """Copy of the in-edge sets (oracle comparisons in tests)."""
         return [set(s) for s in self._in]

@@ -7,7 +7,13 @@ budget. See :class:`OnlineIndex` for the full story.
 """
 
 from .dataset import MutableDataset
-from .index import OnlineIndex
+from .index import OnlineIndex, ReplicaDelta, StaleReplicaError
 from .router import ClusterRouter
 
-__all__ = ["ClusterRouter", "MutableDataset", "OnlineIndex"]
+__all__ = [
+    "ClusterRouter",
+    "MutableDataset",
+    "OnlineIndex",
+    "ReplicaDelta",
+    "StaleReplicaError",
+]

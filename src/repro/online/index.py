@@ -28,7 +28,9 @@ balance matters more than latency.
 
 from __future__ import annotations
 
+import pickle
 import threading
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -42,7 +44,63 @@ from ..similarity.engine import SimilarityEngine, make_engine
 from .dataset import MutableDataset
 from .router import ClusterRouter
 
-__all__ = ["OnlineIndex"]
+__all__ = ["OnlineIndex", "ReplicaDelta", "StaleReplicaError"]
+
+
+class StaleReplicaError(RuntimeError):
+    """A replica cannot converge by deltas and must resync from a snapshot.
+
+    Raised by :meth:`OnlineIndex.apply_delta` when the delta stream has
+    a gap (the replica missed a mutation) or describes a ``rebuild``
+    (which replaces the edge set wholesale, so no per-edge replay can
+    express it). The replica tier reacts by re-cloning the primary and
+    counting a resync.
+    """
+
+
+@dataclass(frozen=True)
+class ReplicaDelta:
+    """Everything a replica needs to replay one primary mutation.
+
+    The shippable (picklable) superset of the ``subscribe`` payload:
+    per-edge structural changes annotated with their post-mutation
+    scores, plus the profile and routing-state changes the mutation
+    made — enough for :meth:`OnlineIndex.apply_delta` to bring a
+    cloned index to the primary's exact serving state in O(|edges|)
+    work and **zero similarity evaluations**.
+
+    Attributes:
+        seq: primary index version after the mutation; replicas apply
+            deltas strictly in sequence (``seq == replica.version + 1``)
+            and skip already-reflected ones (``seq <= replica.version``,
+            e.g. a delta raced the snapshot it was cloned from).
+        event: ``add_user`` / ``add_items`` / ``remove_user`` /
+            ``refill`` / ``rebuild`` (the latter forces a resync).
+        user: the mutated user id (-1 for ``rebuild``).
+        items: profile payload — the full cleaned profile for
+            ``add_user``, the genuinely-added item ids for
+            ``add_items``, ``None`` otherwise.
+        assign: the user's post-mutation per-config cluster ids
+            (``None`` when the mutation does not re-route).
+        new_clusters: ``(config, lineage)`` keys registered by this
+            mutation, in registration order — replicas open the same
+            cluster ids by replaying appends in order.
+        edges: ``(u, v, added, score)`` structural edge changes in
+            journal order (scores of edges dropped later in the same
+            mutation are shipped as 0.0; the later drop erases them).
+        n_users: user-slot count after the mutation.
+        n_items: item-universe size after the mutation.
+    """
+
+    seq: int
+    event: str
+    user: int
+    items: np.ndarray | None = None
+    assign: list[int] | None = None
+    new_clusters: list[tuple[int, tuple]] = field(default_factory=list)
+    edges: list[tuple[int, int, bool, float]] = field(default_factory=list)
+    n_users: int = 0
+    n_items: int = 0
 
 
 class OnlineIndex:
@@ -85,6 +143,7 @@ class OnlineIndex:
         self.version = 0
         self.lock = RWLock()  # mutations write, serving walks read
         self._listeners: list = []
+        self._delta_listeners: list = []
         self._refiller = None  # lazily-built GraphSearcher (serve subsystem)
         self._reverse: ReverseAdjacency | None = None  # lazy, then maintained
         self._reverse_build_lock = threading.Lock()
@@ -148,6 +207,10 @@ class OnlineIndex:
         # discarded and lazily rebuilt from the fresh edges.
         self.graph.heaps.attach_journal()
         self._reverse = None
+        # Cluster-registration watermark for delta export: clusters
+        # appended past this index since the last notify are shipped to
+        # replicas so their routing state replays in lockstep.
+        self._n_notified_clusters = len(self._cluster_key)
 
     # ------------------------------------------------------------------
     # Pickling (process-mode serving shards snapshot the index)
@@ -159,6 +222,7 @@ class OnlineIndex:
         # process, the refiller holds a back-reference, and locks are
         # not picklable; a worker's snapshot starts detached.
         state["_listeners"] = []
+        state["_delta_listeners"] = []
         state["_refiller"] = None
         state["lock"] = None
         state["_reverse_build_lock"] = None
@@ -233,14 +297,176 @@ class OnlineIndex:
         """Remove a previously registered mutation listener."""
         self._listeners.remove(callback)
 
-    def _notify(self, event: str, user: int) -> None:
+    def subscribe_deltas(self, callback) -> None:
+        """Register ``callback(delta: ReplicaDelta)`` after every mutation.
+
+        The replication channel: unlike :meth:`subscribe` (whose edge
+        triples suffice for caches and reverse-adjacency maintenance),
+        delta listeners receive the full shippable
+        :class:`ReplicaDelta` — scored edges plus profile and routing
+        changes — which :meth:`apply_delta` can replay on a
+        :meth:`clone`. Export work is only spent while at least one
+        delta listener is attached.
+        """
+        self._delta_listeners.append(callback)
+
+    def unsubscribe_deltas(self, callback) -> None:
+        """Remove a previously registered delta listener."""
+        self._delta_listeners.remove(callback)
+
+    def _notify(self, event: str, user: int, items=None) -> None:
         deltas = self.graph.heaps.drain_journal()
         self.version += 1
         if self._reverse is not None:
             self._reverse.grow(self._data.n_users)
             self._reverse.apply(deltas)
+        new_clusters = self._cluster_key[self._n_notified_clusters :]
+        self._n_notified_clusters = len(self._cluster_key)
+        if self._delta_listeners:
+            delta = self._export_delta(event, user, deltas, items, new_clusters)
+            for callback in list(self._delta_listeners):
+                callback(delta)
         for callback in list(self._listeners):
             callback(event, user, deltas)
+
+    def _export_delta(
+        self, event: str, user: int, deltas, items, new_clusters
+    ) -> ReplicaDelta:
+        """Annotate a drained journal into a shippable :class:`ReplicaDelta`.
+
+        Added edges are scored by looking the edge up in the
+        post-mutation heap row (O(k) per edge); an added edge no longer
+        present was dropped later in the same journal, so its score is
+        irrelevant — the later drop delta erases it on the replica too.
+        """
+        heaps = self.graph.heaps
+        edges: list[tuple[int, int, bool, float]] = []
+        for u, v, added in deltas:
+            score = 0.0
+            if added:
+                slot = np.flatnonzero(heaps.ids[u] == v)
+                if slot.size:
+                    score = float(heaps.scores[u, int(slot[0])])
+            edges.append((int(u), int(v), bool(added), score))
+        assign = None
+        if event in ("add_user", "add_items") and 0 <= user < len(self._assign):
+            assign = list(self._assign[user])
+        return ReplicaDelta(
+            seq=self.version,
+            event=event,
+            user=int(user),
+            items=None if items is None else np.asarray(items, dtype=np.int64),
+            assign=assign,
+            new_clusters=[(int(c), tuple(lin)) for c, lin in new_clusters],
+            edges=edges,
+            n_users=self._data.n_users,
+            n_items=self._data.n_items,
+        )
+
+    # ------------------------------------------------------------------
+    # Replication (per-shard replica serving tier)
+    # ------------------------------------------------------------------
+
+    def clone(self) -> "OnlineIndex":
+        """A detached deep copy of the live index (snapshot clone).
+
+        Taken under the read lock so a concurrent mutation cannot tear
+        it. The clone starts with no listeners and fresh locks (the
+        pickling contract process-mode serving already relies on) and
+        can be brought forward mutation-by-mutation with
+        :meth:`apply_delta` — the replica tier's whole lifecycle.
+        """
+        return pickle.loads(self.snapshot_bytes())
+
+    def snapshot_bytes(self) -> bytes:
+        """The pickled snapshot :meth:`clone` (and process shipping) use."""
+        with self.lock.read():
+            return pickle.dumps(self)
+
+    def apply_delta(self, delta: ReplicaDelta) -> bool:
+        """Replay one shipped primary mutation on this (replica) index.
+
+        Brings a :meth:`clone` to the primary's next serving state —
+        profiles, fingerprints, routing tables, cluster membership,
+        graph edges and (if built) reverse adjacency — in O(|edges|)
+        work and zero similarity evaluations. Replica scores are exact
+        for every edge structurally changed since the clone; scores of
+        untouched edges may lag in-place rescorings, which serving
+        never reads (walks score candidates against the query).
+
+        Returns ``False`` when the delta is already reflected
+        (``seq <= version`` — it raced the snapshot), ``True`` after a
+        successful replay. Raises :class:`StaleReplicaError` on a
+        sequence gap or a ``rebuild`` event; callers resync from a
+        fresh snapshot.
+        """
+        with self.lock.write():
+            if delta.seq <= self.version:
+                return False
+            if delta.seq != self.version + 1:
+                raise StaleReplicaError(
+                    f"delta seq {delta.seq} does not follow replica "
+                    f"version {self.version}"
+                )
+            if delta.event == "rebuild":
+                raise StaleReplicaError(
+                    "rebuild replaces the edge set wholesale; resync"
+                )
+            event, user = delta.event, delta.user
+            if event == "add_user":
+                uid = self._data.add_user(delta.items)
+                if uid != user:
+                    raise StaleReplicaError(
+                        f"shipped signup became user {uid}, expected {user}"
+                    )
+                self.engine.update_profile(uid, None)
+                self._assign.append([-1] * self.n_configs)
+            elif event == "add_items":
+                added = self._data.add_items(user, delta.items)
+                self.engine.update_profile(user, added)
+            elif event == "remove_user":
+                self._data.remove_user(user)
+                self.engine.update_profile(user, None)
+                for config, cid in enumerate(self._assign[user]):
+                    if cid >= 0:
+                        self._members[cid].remove(user)
+                    self._assign[user][config] = -1
+            self.graph.grow(self._data.n_users)
+            for config, lineage in delta.new_clusters:
+                cid = len(self._members)
+                self._members.append([])
+                self._cluster_key.append((config, lineage))
+                self._router.register(config, lineage, cid)
+            self._n_notified_clusters = len(self._cluster_key)
+            if delta.assign is not None:
+                for config, cid in enumerate(delta.assign):
+                    old = self._assign[user][config]
+                    if old != cid:
+                        if old >= 0:
+                            self._members[old].remove(user)
+                        if cid >= 0:
+                            self._members[cid].append(user)
+                        self._assign[user][config] = cid
+            if self._reverse is not None:
+                self._reverse.grow(self._data.n_users)
+            self.graph.heaps.apply_edge_deltas(delta.edges)
+            replayed = self.graph.heaps.drain_journal()
+            if self._reverse is not None:
+                self._reverse.apply_scored(delta.edges)
+            if event == "remove_user":
+                active = self._data.active_mask()
+                self._degraded.update(
+                    int(u)
+                    for u, v, added, _score in delta.edges
+                    if not added and v == user and u != user and active[u]
+                )
+            self._degraded.discard(user)
+            self.version = delta.seq
+            # A replica's own subscribers (e.g. a per-replica cache)
+            # observe the replayed mutation through the normal channel.
+            for callback in list(self._listeners):
+                callback(event, user, replayed)
+            return True
 
     # ------------------------------------------------------------------
     # Read-side support (query-serving subsystem)
@@ -357,7 +583,7 @@ class OnlineIndex:
                 self._reverse.grow(self._data.n_users)
             self._assign.append([-1] * self.n_configs)
             self._update(uid)
-            self._notify("add_user", uid)
+            self._notify("add_user", uid, items=self._data.profile(uid).copy())
             return uid
 
     def add_items(self, user: int, items) -> np.ndarray:
@@ -371,7 +597,7 @@ class OnlineIndex:
             if added.size:
                 self.engine.update_profile(user, added)
                 self._update(user)
-                self._notify("add_items", user)
+                self._notify("add_items", user, items=added)
             return added
 
     def remove_user(self, user: int) -> None:

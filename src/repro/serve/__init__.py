@@ -7,7 +7,9 @@ graph-walk search (:class:`GraphSearcher`, with optional exact
 re-ranking for estimate backends), a batching/caching front end with
 sync and ``asyncio`` entry points and partial cache invalidation
 (:class:`QueryEngine`), a multi-worker variant that partitions deduped
-batches across thread or process shards (:class:`ShardedQueryEngine`),
+batches across thread or process shards (:class:`ShardedQueryEngine`)
+— optionally backed by per-shard replica indexes that converge via
+shipped journal deltas instead of shared state (:class:`ReplicaSet`) —
 and an adapter that turns served neighbours into item recommendations
 (:class:`Recommender`). Every similarity a query spends is counted
 through the engine's ``charge()`` protocol, so serving cost is
@@ -16,6 +18,7 @@ comparable with build and update cost in the same currency.
 
 from .engine import QueryEngine
 from .recommender import Recommender
+from .replica import ReplicaSet
 from .searcher import GraphSearcher, SearchResult, brute_force_top_k
 from .sharded import ShardedQueryEngine
 
@@ -23,6 +26,7 @@ __all__ = [
     "GraphSearcher",
     "QueryEngine",
     "Recommender",
+    "ReplicaSet",
     "SearchResult",
     "ShardedQueryEngine",
     "brute_force_top_k",

@@ -20,9 +20,14 @@ into a service front end:
     starting cold after every write. The relaxed contract: a cached
     answer **never contains a user mutated after it was computed**
     (so no tombstoned, re-profiled or refilled neighbour is ever
-    served stale), but an answer cached before an *unrelated*
-    mutation may miss, e.g., a brand-new very-similar signup until
-    it expires from the LRU.
+    served stale). A brand-new signup has no postings of her own, so
+    her eviction is **seeded from her cluster route**: every user her
+    arrival wired edges to (the deltas of the ``add_user`` event)
+    also evicts — a cached answer full of her neighbours is exactly
+    the answer she should now appear in. Entries untouched by both
+    rules may still go stale against *unrelated* graph drift until
+    they expire from the LRU; ``"full"`` mode trades the hit rate
+    back for strictness.
   - ``"full"``: every mutation drops the whole cache and entries are
     version-stamped — the strict PR-2 contract that a cached answer
     always equals a fresh search against the current index state.
@@ -42,7 +47,73 @@ import numpy as np
 from ..online.index import OnlineIndex
 from .searcher import GraphSearcher, SearchResult
 
-__all__ = ["QueryEngine"]
+__all__ = ["AsyncSearchMixin", "QueryEngine"]
+
+
+def _signup_contacts(event: str, deltas) -> set[int] | None:
+    """Users a brand-new signup wired edges to — her eviction seeds.
+
+    The ROADMAP-flagged blind spot: a new user has no postings, so a
+    cached result she *should* appear in would survive until LRU churn.
+    Her ``add_user`` deltas name every user her cluster route connected
+    her to (her row's edges plus the reverse offers she won) — cached
+    answers containing those users are precisely the ones she belongs
+    in, so they are evicted too. ``None`` for every other event: the
+    mutated user's own postings already cover those.
+    """
+    if event != "add_user":
+        return None
+    contacts: set[int] = set()
+    for u, v, _added, *_ in deltas:
+        contacts.add(int(u))
+        contacts.add(int(v))
+    return contacts
+
+
+class AsyncSearchMixin:
+    """Coalescing ``search_async`` on top of a batched ``search_many``.
+
+    Shared by :class:`QueryEngine` and
+    :class:`~repro.serve.sharded.ShardedQueryEngine` so both front ends
+    honour the same contract: every caller already scheduled when the
+    flush task runs (e.g. all coroutines of one ``asyncio.gather``)
+    lands in the same ``search_many`` batch and benefits from its
+    deduplication. Hosts must initialise ``_init_async()`` and provide
+    ``search_many(profiles, k)`` plus ``default_k``.
+    """
+
+    def _init_async(self) -> None:
+        self._pending: list[tuple[object, int | None, asyncio.Future]] = []
+        self._flush_task: asyncio.Task | None = None
+
+    async def search_async(self, profile, k: int | None = None) -> "SearchResult":
+        """Awaitable :meth:`search`; concurrent callers share a batch."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((profile, k, future))
+        if self._flush_task is None or self._flush_task.done():
+            self._flush_task = loop.create_task(self._flush_pending())
+        return await future
+
+    async def _flush_pending(self) -> None:
+        await asyncio.sleep(0)  # let every scheduled caller enqueue first
+        while self._pending:
+            batch, self._pending = self._pending, []
+            groups: dict[int, list[tuple[object, asyncio.Future]]] = {}
+            for profile, k, future in batch:
+                kk = int(k if k is not None else self.default_k)
+                groups.setdefault(kk, []).append((profile, future))
+            for kk, items in groups.items():
+                try:
+                    outs = self.search_many([p for p, _ in items], k=kk)
+                except Exception as exc:  # pragma: no cover - defensive
+                    for _, future in items:
+                        if not future.done():
+                            future.set_exception(exc)
+                else:
+                    for (_, future), out in zip(items, outs):
+                        if not future.done():
+                            future.set_result(out)
 
 
 class _ResultCache:
@@ -120,8 +191,14 @@ class _ResultCache:
                 if not keys:
                     del self._postings[int(v)]
 
-    def on_mutation(self, event: str, user: int) -> None:
-        """Invalidate for one index mutation (the subscribe hook body)."""
+    def on_mutation(self, event: str, user: int, touched=None) -> None:
+        """Invalidate for one index mutation (the subscribe hook body).
+
+        ``touched`` optionally widens the eviction beyond the mutated
+        user's own postings — the engines pass the signup-contact set
+        from :func:`_signup_contacts` so a brand-new user evicts the
+        cached answers she should appear in.
+        """
         with self._lock:
             if self.mode == "full" or user < 0 or event == "rebuild":
                 # Full mode always clears; a rebuild replaces the whole
@@ -131,9 +208,13 @@ class _ResultCache:
                     self._entries.clear()
                     self._postings.clear()
                 return
-            for key in list(self._postings.get(user, ())):
-                self._drop(key)
-                self.invalidations += 1
+            victims = {user}
+            if touched:
+                victims.update(touched)
+            for uid in victims:
+                for key in list(self._postings.get(uid, ())):
+                    self._drop(key)
+                    self.invalidations += 1
 
     def clear(self) -> None:
         with self._lock:
@@ -145,7 +226,7 @@ class _ResultCache:
             return sum(len(keys) for keys in self._postings.values())
 
 
-class QueryEngine:
+class QueryEngine(AsyncSearchMixin):
     """Serves top-k queries over an :class:`OnlineIndex`.
 
     Args:
@@ -179,8 +260,7 @@ class QueryEngine:
         self.cache_hits = 0
         self.cache_misses = 0
         self.dedup_hits = 0
-        self._pending: list[tuple[object, int | None, asyncio.Future]] = []
-        self._flush_task: asyncio.Task | None = None
+        self._init_async()
         index.subscribe(self._on_mutation)
 
     @property
@@ -206,7 +286,7 @@ class QueryEngine:
 
     def _on_mutation(self, event: str, user: int, deltas) -> None:
         """Index mutation hook → evict what the mutation can have changed."""
-        self._cache.on_mutation(event, user)
+        self._cache.on_mutation(event, user, touched=_signup_contacts(event, deltas))
 
     # ------------------------------------------------------------------
     # Sync entry points
@@ -250,44 +330,6 @@ class QueryEngine:
             for pos in positions:
                 results[pos] = result
         return results  # type: ignore[return-value]
-
-    # ------------------------------------------------------------------
-    # Async entry point
-    # ------------------------------------------------------------------
-
-    async def search_async(self, profile, k: int | None = None) -> SearchResult:
-        """Awaitable :meth:`search`; concurrent callers share a batch.
-
-        Every caller that is already scheduled when the flush task runs
-        (e.g. all coroutines of one ``asyncio.gather``) lands in the
-        same ``search_many`` batch and benefits from its deduplication.
-        """
-        loop = asyncio.get_running_loop()
-        future: asyncio.Future = loop.create_future()
-        self._pending.append((profile, k, future))
-        if self._flush_task is None or self._flush_task.done():
-            self._flush_task = loop.create_task(self._flush_pending())
-        return await future
-
-    async def _flush_pending(self) -> None:
-        await asyncio.sleep(0)  # let every scheduled caller enqueue first
-        while self._pending:
-            batch, self._pending = self._pending, []
-            groups: dict[int, list[tuple[object, asyncio.Future]]] = {}
-            for profile, k, future in batch:
-                kk = int(k if k is not None else self.default_k)
-                groups.setdefault(kk, []).append((profile, future))
-            for kk, items in groups.items():
-                try:
-                    outs = self.search_many([p for p, _ in items], k=kk)
-                except Exception as exc:  # pragma: no cover - defensive
-                    for _, future in items:
-                        if not future.done():
-                            future.set_exception(exc)
-                else:
-                    for (_, future), out in zip(items, outs):
-                        if not future.done():
-                            future.set_result(out)
 
     # ------------------------------------------------------------------
 

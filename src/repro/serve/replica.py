@@ -1,0 +1,347 @@
+"""Per-shard replica indexes fed by journal-delta shipping.
+
+PR 3's sharded serving has two multi-core ceilings the ROADMAP calls
+out: every thread shard walks **one shared graph** under a single
+readers-writer lock (mutations stall all shards at once), and the
+process pool **re-forks its entire snapshot** after any mutation. This
+module replaces both with replication:
+
+* each replica is a full :meth:`~repro.online.OnlineIndex.clone` of
+  the primary — its own profiles, fingerprints, routing tables, graph
+  heaps and :class:`~repro.graph.reverse.ReverseAdjacency` — so a
+  walk touches **no primary state and no primary lock**;
+* mutations apply **once** on the primary; the per-edge journal deltas
+  (annotated into :class:`~repro.online.ReplicaDelta` by
+  ``subscribe_deltas``) are shipped to every replica, which converges
+  via :meth:`~repro.online.OnlineIndex.apply_delta` in O(|edges|) work
+  and zero similarity evaluations — **no snapshot re-forks**.
+
+Two shipping transports:
+
+* ``mode="thread"`` — replicas live in-process; deltas are applied
+  synchronously inside the mutation (each replica takes only its own
+  write lock, so queries on other replicas never stall). Replicas are
+  always exactly at the primary's version.
+* ``mode="process"`` — one **pinned single-worker pool per replica**
+  holds the cloned index; deltas are pickled into a per-replica queue
+  and drained by the worker ahead of each batch it serves. Replicas
+  converge lazily (eventual, read-your-ship consistency: a batch
+  always sees every mutation shipped before it was submitted).
+
+A ``rebuild`` (or a detected sequence gap) cannot be expressed as
+deltas; the replica resyncs from a fresh snapshot and the ``resyncs``
+counter records it — the mixed-workload benchmark asserts this stays
+at **zero** across a 90/10 write storm.
+
+Convergence is checked in the slot-order-independent currency that
+matters for serving: per-row neighbour-id sets (:func:`edge_digest`).
+Replica edge *ids* are always exact; stored edge scores may lag
+in-place rescorings, which the searcher never reads (candidates are
+scored against the query).
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from ..graph.heap import NeighborHeaps
+from ..online.index import OnlineIndex, ReplicaDelta
+from .searcher import GraphSearcher, SearchResult
+
+__all__ = ["ReplicaSet", "edge_digest"]
+
+
+def edge_digest(heaps: NeighborHeaps) -> int:
+    """Slot-order-independent fingerprint of a heap table's edge ids.
+
+    Rows are sorted before hashing, so a primary and a replica that
+    hold the same neighbour sets in different slot layouts (or with
+    drifted scores) digest identically.
+    """
+    return zlib.crc32(np.sort(heaps.ids[: heaps.n], axis=1).tobytes())
+
+
+# Process-mode worker state: one pinned worker per replica holds the
+# cloned index and drains its delta queue before serving each batch.
+_REPLICA: dict = {}
+
+
+def _replica_init(payload: bytes, searcher_kwargs: dict) -> None:
+    index = pickle.loads(payload)
+    _REPLICA["index"] = index
+    _REPLICA["searcher"] = GraphSearcher(index, **searcher_kwargs)
+
+
+def _replica_search(
+    delta_payloads: list[bytes], profiles: list, k: int
+) -> list[SearchResult]:
+    index: OnlineIndex = _REPLICA["index"]
+    for raw in delta_payloads:
+        index.apply_delta(pickle.loads(raw))
+    searcher: GraphSearcher = _REPLICA["searcher"]
+    return [searcher.top_k(p, k=k) for p in profiles]
+
+
+def _replica_state(delta_payloads: list[bytes]) -> tuple[int, int]:
+    """Apply pending deltas, then report ``(version, edge digest)``."""
+    index: OnlineIndex = _REPLICA["index"]
+    for raw in delta_payloads:
+        index.apply_delta(pickle.loads(raw))
+    return index.version, edge_digest(index.graph.heaps)
+
+
+class ReplicaSet:
+    """N per-shard replica indexes converging by shipped deltas.
+
+    Args:
+        index: the primary (mutations apply here, once).
+        n_replicas: replica count; the sharded front end routes batch
+            misses across them.
+        mode: ``"thread"`` (in-process clones, synchronous delta
+            apply) or ``"process"`` (pinned worker pools fed a pickled
+            delta queue).
+        searcher_kwargs: forwarded to each replica's
+            :class:`GraphSearcher` (``ef``, ``budget``, ``rerank``, …).
+    """
+
+    def __init__(
+        self,
+        index: OnlineIndex,
+        n_replicas: int = 2,
+        *,
+        mode: str = "thread",
+        searcher_kwargs: dict | None = None,
+    ) -> None:
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        if mode not in ("thread", "process"):
+            raise ValueError("mode must be 'thread' or 'process'")
+        self.index = index
+        self.n_replicas = int(n_replicas)
+        self.mode = mode
+        self.searcher_kwargs = dict(searcher_kwargs or {})
+        self.deltas_shipped = 0
+        self.resyncs = 0
+        self._ship_lock = threading.Lock()
+        self._revive_locks = [threading.Lock() for _ in range(self.n_replicas)]
+        self._closed = False
+        if mode == "thread":
+            self._replicas: list[OnlineIndex] = []
+            self._searchers: list[GraphSearcher] = []
+            self._run_locks = [threading.Lock() for _ in range(self.n_replicas)]
+            for _ in range(self.n_replicas):
+                replica = index.clone()
+                self._replicas.append(replica)
+                self._searchers.append(
+                    GraphSearcher(replica, **self.searcher_kwargs)
+                )
+        else:
+            snapshot = index.snapshot_bytes()
+            self._pools: list[ProcessPoolExecutor | None] = []
+            self._pending: list[list[bytes]] = [[] for _ in range(self.n_replicas)]
+            self._needs_resync = [False] * self.n_replicas
+            for _ in range(self.n_replicas):
+                self._pools.append(self._new_pool(snapshot))
+        # Subscribe after cloning: a mutation racing the clone is either
+        # already inside the snapshot (its delta is skipped by the seq
+        # guard) or arrives as the next delta in sequence. A delta lost
+        # in the unsubscribed gap surfaces as a sequence gap and heals
+        # through a counted resync.
+        index.subscribe_deltas(self._on_delta)
+
+    def _new_pool(self, payload: bytes) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=1,
+            initializer=_replica_init,
+            initargs=(payload, self.searcher_kwargs),
+        )
+
+    # ------------------------------------------------------------------
+    # Shipping
+    # ------------------------------------------------------------------
+
+    def _on_delta(self, delta: ReplicaDelta) -> None:
+        """Primary mutation hook: converge (thread) or enqueue (process)."""
+        self.deltas_shipped += 1
+        if self.mode == "thread":
+            for i in range(self.n_replicas):
+                try:
+                    self._replicas[i].apply_delta(delta)
+                except Exception:
+                    # A replica that cannot replay (sequence gap,
+                    # rebuild, or any mid-replay failure) must never
+                    # break the primary's mutation — contain it by
+                    # resyncing from a fresh snapshot. The snapshot
+                    # clone is safe here: this hook runs on the
+                    # mutating thread, for which the write lock is
+                    # read-reentrant.
+                    self._resync_thread(i)
+            return
+        payload = pickle.dumps(delta)
+        with self._ship_lock:
+            for i in range(self.n_replicas):
+                if delta.event == "rebuild":
+                    # Unshippable: drop the queue, force a snapshot.
+                    self._pending[i].clear()
+                    self._needs_resync[i] = True
+                else:
+                    self._pending[i].append(payload)
+
+    def _resync_thread(self, i: int) -> None:
+        """Replace thread replica ``i`` with a fresh snapshot clone."""
+        self.resyncs += 1
+        replica = self.index.clone()
+        self._replicas[i] = replica
+        self._searchers[i] = GraphSearcher(replica, **self.searcher_kwargs)
+
+    def _revive(self, i: int) -> None:
+        """Re-fork process replica ``i``'s pinned pool from a snapshot.
+
+        Lock discipline matters here: ``_on_delta`` runs under the
+        primary's **write** lock and takes ``_ship_lock``, so this
+        method must never hold ``_ship_lock`` while taking the
+        snapshot (which needs the primary's **read** lock) — that
+        order inversion would deadlock the tier against a concurrent
+        mutation. Instead the dead pool is detached and its queue
+        cleared under ``_ship_lock``, the snapshot is taken unlocked,
+        and the fresh pool is installed afterwards. Deltas shipped in
+        between accumulate in the cleared queue; any the snapshot
+        already contains are skipped by ``apply_delta``'s seq guard.
+        ``_revive_locks[i]`` collapses concurrent revivals of the same
+        replica into one resync.
+        """
+        with self._revive_locks[i]:
+            with self._ship_lock:
+                if self._pools[i] is not None and not self._needs_resync[i]:
+                    return  # another thread already revived it
+                pool = self._pools[i]
+                self._pools[i] = None
+                self._pending[i].clear()
+                self._needs_resync[i] = False
+                self.resyncs += 1
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+            payload = self.index.snapshot_bytes()  # no _ship_lock held
+            with self._ship_lock:
+                self._pools[i] = self._new_pool(payload)
+
+    def _submit(self, i: int, fn, *args):
+        """Submit to replica ``i``'s pinned pool, reviving it if needed.
+
+        The pending delta queue is drained into the task under
+        ``_ship_lock`` so the pop and the submit are atomic with
+        respect to ``_on_delta`` appends and other submitters — the
+        single-worker pool then applies and serves strictly in ship
+        order (read-your-ship consistency).
+        """
+        while True:
+            with self._ship_lock:
+                if self._closed:
+                    raise RuntimeError("ReplicaSet is closed")
+                pool = self._pools[i]
+                if pool is not None and not self._needs_resync[i]:
+                    payloads, self._pending[i] = self._pending[i], []
+                    return pool.submit(fn, payloads, *args)
+            self._revive(i)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def search(self, replica: int, profiles: list, k: int) -> list[SearchResult]:
+        """Serve a batch of profiles on replica ``replica``.
+
+        Thread mode walks the replica's own graph on the calling
+        thread (the per-replica lock only matters for rebuild-mode
+        searchers, which keep private CSR state). Process mode drains
+        the replica's delta queue into the pinned worker ahead of the
+        batch, so results always reflect every mutation shipped before
+        this call.
+        """
+        if self.mode == "thread":
+            searcher = self._searchers[replica]
+            with self._run_locks[replica]:
+                return [searcher.top_k(p, k=k) for p in profiles]
+        future = self._submit(replica, _replica_search, profiles, k)
+        try:
+            return future.result()
+        except Exception:
+            # Worker died or its delta stream gapped: resync the pinned
+            # pool from a fresh snapshot and retry the batch once.
+            with self._ship_lock:
+                self._needs_resync[replica] = True
+            return self._submit(replica, _replica_search, profiles, k).result()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def replica(self, i: int) -> OnlineIndex:
+        """Thread-mode replica ``i`` (tests compare it to the primary)."""
+        if self.mode != "thread":
+            raise ValueError("direct replica access is thread-mode only")
+        return self._replicas[i]
+
+    def converged(self) -> bool:
+        """Whether every replica's edge sets match the primary's, now.
+
+        Thread replicas are compared in place; process replicas first
+        drain their pending delta queues (the consistency contract is
+        read-your-ship, so "converged" means "after applying what was
+        shipped"). Digests are slot-order independent.
+        """
+        with self.index.lock.read():
+            want = (self.index.version, edge_digest(self.index.graph.heaps))
+        if self.mode == "thread":
+            for replica in self._replicas:
+                with replica.lock.read():
+                    got = (replica.version, edge_digest(replica.graph.heaps))
+                if got != want:
+                    return False
+            return True
+        for i in range(self.n_replicas):
+            if self._submit(i, _replica_state).result() != want:
+                return False
+        return True
+
+    def lag(self) -> int:
+        """Mutations shipped but not yet applied, worst replica."""
+        if self.mode == "thread":
+            return max(
+                (self.index.version - r.version for r in self._replicas),
+                default=0,
+            )
+        with self._ship_lock:
+            return max((len(p) for p in self._pending), default=0)
+
+    def stats(self) -> dict:
+        """Operational counters for dashboards, benchmarks and tests."""
+        return {
+            "n_replicas": self.n_replicas,
+            "mode": self.mode,
+            "deltas_shipped": self.deltas_shipped,
+            "resyncs": self.resyncs,
+            "lag": self.lag(),
+            "primary_version": self.index.version,
+        }
+
+    def close(self) -> None:
+        """Detach from the primary and release replica resources."""
+        if self._closed:
+            return
+        self._closed = True
+        self.index.unsubscribe_deltas(self._on_delta)
+        if self.mode == "process":
+            with self._ship_lock:
+                for i, pool in enumerate(self._pools):
+                    if pool is not None:
+                        pool.shutdown()
+                        self._pools[i] = None
+        else:
+            self._replicas = []
+            self._searchers = []

@@ -21,9 +21,22 @@ the remaining misses by a stable hash of the canonical profile across
   threads there). Results are identical to thread mode because the
   searcher is deterministic in the index state.
 
+``replicas=True`` upgrades either executor to the **replica tier**
+(:class:`~repro.serve.replica.ReplicaSet`): every shard owns a full
+clone of the index — its own graph, reverse adjacency, router and
+fingerprints — and converges after each primary mutation by applying
+the shipped journal deltas instead of re-reading (threads) or
+re-forking (processes) shared state. Walks then touch no primary lock
+at all, and batch misses are routed across the replicas by a
+configurable policy: ``"round_robin"`` (default — any replica can
+serve any query, so spread them evenly), ``"least_loaded"`` (route to
+the replica with the fewest in-flight misses) or ``"hash"`` (the
+stable profile-hash partition the shared-state modes use).
+
 Sharding never changes answers: the same deterministic searcher
-configuration runs in every worker, so a sharded batch returns exactly
-what a single-worker engine would (property-tested).
+configuration runs in every worker against converged state, so a
+sharded batch returns exactly what a single-worker engine would
+(property-tested).
 """
 
 from __future__ import annotations
@@ -37,7 +50,8 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 import numpy as np
 
 from ..online.index import OnlineIndex
-from .engine import _ResultCache
+from .engine import AsyncSearchMixin, _ResultCache, _signup_contacts
+from .replica import ReplicaSet
 from .searcher import GraphSearcher, SearchResult
 
 __all__ = ["ShardedQueryEngine"]
@@ -58,20 +72,29 @@ def _proc_search(profiles: list, k: int) -> list[SearchResult]:
     return [searcher.top_k(p, k=k) for p in profiles]
 
 
-class ShardedQueryEngine:
+class ShardedQueryEngine(AsyncSearchMixin):
     """Batch query serving partitioned across ``n_shards`` workers.
 
     Args:
-        index: the maintained index to serve from.
-        n_shards: worker count; deduped batch misses are partitioned
-            by a stable hash of the canonical profile.
+        index: the maintained index to serve from (the primary, when
+            replicas are on — mutations always apply there, once).
+        n_shards: worker (or replica) count; deduped batch misses are
+            spread across them.
         k: default neighbours per query.
         cache_size: shared front-end LRU size (0 disables caching).
         invalidation: cache mode, ``"partial"`` (default) or
             ``"full"`` — same contracts as :class:`QueryEngine`.
         executor: ``"thread"`` (default; safe under concurrent
             mutations) or ``"process"`` (snapshot workers, re-forked
-            after mutations — read-mostly tiers).
+            after mutations — read-mostly tiers; with ``replicas=True``
+            the re-forking is replaced by delta shipping).
+        replicas: give every shard its own replica index converging by
+            shipped journal deltas (see module docstring) instead of
+            sharing the primary's state.
+        routing: miss-routing policy across replicas —
+            ``"round_robin"`` (default with replicas),
+            ``"least_loaded"`` or ``"hash"``. Shared-state shards
+            (``replicas=False``) always hash-partition.
         searcher_kwargs: forwarded to each shard's
             :class:`GraphSearcher` (``ef``, ``budget``, ``rerank``, …).
     """
@@ -85,16 +108,31 @@ class ShardedQueryEngine:
         cache_size: int = 1024,
         invalidation: str = "partial",
         executor: str = "thread",
+        replicas: bool = False,
+        routing: str | None = None,
         searcher_kwargs: dict | None = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
         if executor not in ("thread", "process"):
             raise ValueError("executor must be 'thread' or 'process'")
+        if routing is None:
+            routing = "round_robin" if replicas else "hash"
+        if routing not in ("hash", "round_robin", "least_loaded"):
+            raise ValueError(
+                "routing must be 'hash', 'round_robin' or 'least_loaded'"
+            )
+        if not replicas and routing != "hash":
+            raise ValueError(
+                "routing policies require replicas=True "
+                "(shared-state shards are hash-partitioned)"
+            )
         self.index = index
         self.n_shards = int(n_shards)
         self.default_k = int(k)
         self.executor = executor
+        self.replicas = bool(replicas)
+        self.routing = routing
         self.searcher_kwargs = dict(searcher_kwargs or {})
         self._cache = _ResultCache(cache_size, mode=invalidation)
         self._stats_lock = threading.Lock()
@@ -104,7 +142,28 @@ class ShardedQueryEngine:
         self.dedup_hits = 0
         self._pool_lock = threading.Lock()
         self._stale = True  # process pool not yet forked
-        if executor == "thread":
+        self.reforks = 0  # legacy process-snapshot pool re-creations
+        self._init_async()
+        self._replica_set: ReplicaSet | None = None
+        self._route_lock = threading.Lock()
+        self._rr = 0  # round-robin cursor
+        self._inflight = [0] * self.n_shards  # least-loaded accounting
+        if self.replicas:
+            self._replica_set = ReplicaSet(
+                index,
+                self.n_shards,
+                mode=executor,
+                searcher_kwargs=self.searcher_kwargs,
+            )
+            self._searchers = []
+            self._shard_locks = []
+            # Dispatch pool: thread replicas walk on these workers;
+            # process replicas use them to overlap waiting on the N
+            # pinned worker pools.
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.n_shards, thread_name_prefix="repro-replica"
+            )
+        elif executor == "thread":
             self._searchers = [
                 GraphSearcher(index, **self.searcher_kwargs)
                 for _ in range(self.n_shards)
@@ -124,14 +183,36 @@ class ShardedQueryEngine:
 
     # ------------------------------------------------------------------
 
+    @property
+    def replica_set(self) -> ReplicaSet | None:
+        """The backing :class:`ReplicaSet` (``None`` without replicas)."""
+        return self._replica_set
+
     def _on_mutation(self, event: str, user: int, deltas) -> None:
-        self._cache.on_mutation(event, user)
-        if self.executor == "process":
+        self._cache.on_mutation(event, user, touched=_signup_contacts(event, deltas))
+        if self.executor == "process" and not self.replicas:
             self._stale = True  # workers hold a pre-mutation snapshot
 
     def _shard_of(self, key: tuple) -> int:
         """Stable profile→shard assignment (independent of batch order)."""
         return zlib.crc32(key[0]) % self.n_shards
+
+    def _route_miss(self, key: tuple) -> int:
+        """Pick the shard for one deduped miss; caller holds ``_route_lock``.
+
+        Replicas converge to identical state, so any of them may serve
+        any query — the policy only shapes load. Hash keeps the stable
+        assignment (and is the only sound choice for shared-state
+        shards); round-robin spreads a batch evenly; least-loaded
+        routes around stragglers using in-flight miss counts.
+        """
+        if self.routing == "round_robin":
+            shard = self._rr % self.n_shards
+            self._rr += 1
+            return shard
+        if self.routing == "least_loaded":
+            return min(range(self.n_shards), key=lambda i: self._inflight[i])
+        return self._shard_of(key)
 
     def _run_shard(self, shard: int, items: list, k: int) -> list:
         searcher = self._searchers[shard]
@@ -140,6 +221,17 @@ class ShardedQueryEngine:
             for key, profile in items:
                 out.append((key, searcher.top_k(profile, k=k)))
         return out
+
+    def _run_replica(self, shard: int, items: list, k: int) -> list:
+        try:
+            results = self._replica_set.search(
+                shard, [profile for _, profile in items], k
+            )
+            return [(key, result) for (key, _), result in zip(items, results)]
+        finally:
+            if self.routing == "least_loaded":
+                with self._route_lock:
+                    self._inflight[shard] -= len(items)
 
     def _ensure_process_pool(self) -> ProcessPoolExecutor:
         """(Re)fork the worker pool if stale; caller holds ``_pool_lock``.
@@ -153,8 +245,8 @@ class ShardedQueryEngine:
             if self._pool is not None:
                 self._pool.shutdown()
             self._stale = False
-            with self.index.lock.read():
-                payload = pickle.dumps(self.index)
+            self.reforks += 1
+            payload = self.index.snapshot_bytes()
             self._pool = ProcessPoolExecutor(
                 max_workers=self.n_shards,
                 initializer=_proc_init,
@@ -196,15 +288,36 @@ class ShardedQueryEngine:
         if misses:
             version = self.index.version
             shards: dict[int, list[tuple[tuple, np.ndarray]]] = {}
-            for key, positions in misses.items():
-                shards.setdefault(self._shard_of(key), []).append(
-                    (key, canon[positions[0]])
-                )
-            if self.executor == "thread":
+            if self._replica_set is not None:
+                with self._route_lock:
+                    for key, positions in misses.items():
+                        shard = self._route_miss(key)
+                        if self.routing == "least_loaded":
+                            self._inflight[shard] += 1
+                        shards.setdefault(shard, []).append(
+                            (key, canon[positions[0]])
+                        )
+            else:
+                for key, positions in misses.items():
+                    shards.setdefault(self._shard_of(key), []).append(
+                        (key, canon[positions[0]])
+                    )
+            if self._replica_set is not None:
+                futures = [
+                    self._pool.submit(self._run_replica, shard, items, k)
+                    for shard, items in shards.items()
+                ]
+                for future in futures:
+                    for key, result in future.result():
+                        answered[key] = result
+            elif self.executor == "thread":
                 futures = [
                     self._pool.submit(self._run_shard, shard, items, k)
                     for shard, items in shards.items()
                 ]
+                for future in futures:
+                    for key, result in future.result():
+                        answered[key] = result
             else:
                 # Submit under the pool lock: another thread's re-fork
                 # (or close()) must not shut this pool down between the
@@ -215,11 +328,6 @@ class ShardedQueryEngine:
                         pool.submit(_proc_search, [p for _, p in items], k)
                         for items in shards.values()
                     ]
-            if self.executor == "thread":
-                for future in futures:
-                    for key, result in future.result():
-                        answered[key] = result
-            else:
                 for future, items in zip(futures, shards.values()):
                     for (key, _), result in zip(items, future.result()):
                         answered[key] = result
@@ -249,6 +357,8 @@ class ShardedQueryEngine:
         self.index.unsubscribe(self._on_mutation)
         if self._cache.mode == "partial":
             self._cache.clear()
+        if self._replica_set is not None:
+            self._replica_set.close()
         with self._pool_lock:
             if self._pool is not None:
                 self._pool.shutdown()
@@ -257,7 +367,7 @@ class ShardedQueryEngine:
     def stats(self) -> dict:
         """Operational counters for dashboards and tests."""
         with self._stats_lock:
-            return {
+            out = {
                 "n_queries": self.n_queries,
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
@@ -267,5 +377,16 @@ class ShardedQueryEngine:
                 "cached_entries": len(self._cache),
                 "n_shards": self.n_shards,
                 "executor": self.executor,
+                "routing": self.routing,
+                "reforks": self.reforks,
                 "index_version": self.index.version,
             }
+        if self._replica_set is not None:
+            replica = self._replica_set.stats()
+            out.update(
+                replica_mode=replica["mode"],
+                deltas_shipped=replica["deltas_shipped"],
+                resyncs=replica["resyncs"],
+                replica_lag=replica["lag"],
+            )
+        return out

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cli import main
-from repro.data import Dataset, save_dataset
+from repro.data import save_dataset
 
 
 class TestDatasetsCommand:

@@ -141,7 +141,7 @@ class TestReverseAdjacency:
         return g
 
     def test_from_heaps_matches_bruteforce(self):
-        from repro.graph import EMPTY, ReverseAdjacency
+        from repro.graph import ReverseAdjacency
 
         g = self._graph()
         rev = ReverseAdjacency.from_heaps(g.heaps)

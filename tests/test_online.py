@@ -5,7 +5,7 @@ import pytest
 
 from repro import C2Params, cluster_and_conquer, make_engine
 from repro.core import cluster_dataset, make_hash_family
-from repro.data import Dataset, SyntheticSpec, generate
+from repro.data import SyntheticSpec, generate
 from repro.graph.heap import EMPTY
 from repro.online import ClusterRouter, MutableDataset, OnlineIndex
 from repro.similarity import BloomEngine, ExactEngine, GoldFingerEngine

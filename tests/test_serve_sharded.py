@@ -81,8 +81,9 @@ class TestShardedDeterminism:
 
     def test_process_pool_resyncs_after_mutation(self, small_dataset):
         index = OnlineIndex.build(small_dataset, params=_params())
-        # cache_size=0: the partial cache would (by design) keep serving
-        # the pre-signup answer — here we exercise the pool resync itself.
+        # cache_size=0: this test exercises the snapshot-pool resync
+        # itself, not the front-end cache (whose signup-contact seeding
+        # would also evict the pre-signup answer).
         procs = ShardedQueryEngine(index, n_shards=2, executor="process", cache_size=0)
         oracle = QueryEngine(index, cache_size=0)
         query = small_dataset.profile(3)
