@@ -21,6 +21,7 @@ from . import (
     distributed,
     graph,
     online,
+    persist,
     recommend,
     serve,
     similarity,
@@ -71,6 +72,7 @@ __all__ = [
     "nndescent_knn",
     "online",
     "paper_params",
+    "persist",
     "quality",
     "recommend",
     "serve",

@@ -12,7 +12,9 @@ Commands:
   and report the incremental cost vs a from-scratch rebuild.
 * ``serve-demo`` — answer out-of-sample top-k queries through the
   serving subsystem and report QPS, latency percentiles, recall vs
-  brute force and the fraction of similarities evaluated.
+  brute force and the fraction of similarities evaluated. With
+  ``--wal-dir`` the index persists itself (snapshot + delta WAL) and
+  ``--restore`` recovers it from there instead of rebuilding.
 
 Examples::
 
@@ -159,7 +161,25 @@ def _cmd_update_demo(args) -> int:
 def _cmd_serve_demo(args) -> int:
     dataset = _load_dataset(args)
     workload = Workload(dataset=args.dataset, scale=args.scale, k=args.k, seed=args.seed)
-    index = OnlineIndex.build(dataset, params=workload.c2_params)
+    durable = None
+    if args.restore:
+        if not args.wal_dir:
+            print("--restore requires --wal-dir", file=sys.stderr)
+            return 2
+        from .persist import DurableIndex
+
+        durable = DurableIndex.recover(args.wal_dir)
+        index = durable.index
+        info = durable.recovery
+        print(
+            f"restored from {args.wal_dir}: snapshot seq {info.snapshot_seq} "
+            f"+ {info.replayed} WAL deltas replayed in {info.seconds:.3f}s "
+            f"({info.evaluations} similarity evaluations) -> version {info.version}"
+        )
+    else:
+        index = OnlineIndex.build(dataset, params=workload.c2_params)
+        if args.wal_dir:
+            durable = index.attach_persistence(args.wal_dir)
     rerank = None if args.rerank == "none" else args.rerank
     searcher = GraphSearcher(index, ef=args.ef, budget=args.budget, rerank=rerank)
     if args.replicas > 0:
@@ -167,6 +187,10 @@ def _cmd_serve_demo(args) -> int:
             index, args.replicas, k=args.topk, replicas=True,
             routing=args.routing, executor=args.replica_executor,
             searcher_kwargs=dict(ef=args.ef, budget=args.budget, rerank=rerank),
+            # With persistence attached, replicas bootstrap from the
+            # on-disk snapshot + WAL tail instead of pickling the
+            # primary under its read lock.
+            hydrate=durable.hydrate if durable is not None else None,
         )
     elif args.shards > 1:
         queries = ShardedQueryEngine(
@@ -224,6 +248,56 @@ def _cmd_serve_demo(args) -> int:
             ),
         )
     )
+    if args.replicas > 0:
+        # The tier dashboard: what the replicated read path spent, per
+        # replica and in total, in the same counted-similarity currency
+        # as builds and updates.
+        serving = stats["replica_serving"]
+        rows = [
+            {
+                "Replica": i,
+                "Queries": c["queries"],
+                "Evaluations": c["evaluations"],
+                "Hops": c["hops"],
+            }
+            for i, c in enumerate(serving["per_replica"])
+        ]
+        rows.append(
+            {
+                "Replica": "total",
+                "Queries": serving["queries"],
+                "Evaluations": serving["evaluations"],
+                "Hops": serving["hops"],
+            }
+        )
+        print(
+            format_table(
+                rows,
+                title=(
+                    f"replica tier dashboard ({stats['deltas_shipped']} deltas "
+                    f"shipped, {stats['resyncs']} resyncs, "
+                    f"lag {stats['replica_lag']})"
+                ),
+            )
+        )
+    if durable is not None:
+        pstats = durable.stats()
+        print(
+            format_table(
+                [
+                    {
+                        "WAL records": pstats["appended"],
+                        "WAL bytes": pstats["wal_bytes"],
+                        "Segments": pstats["n_segments"],
+                        "Snapshot seq": pstats["snapshot_seq"],
+                        "Checkpoints": pstats["checkpoints"],
+                        "Version": pstats["version"],
+                    }
+                ],
+                title=f"persistence ({args.wal_dir})",
+            )
+        )
+        durable.close()
     queries.close()
     return 0
 
@@ -294,6 +368,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         "worker pools fed a pickled delta queue")
     p.add_argument("--rerank", default="none", choices=["none", "exact"],
                    help="re-score the walk's final frontier with exact similarities")
+    p.add_argument("--wal-dir",
+                   help="persist the index there (snapshot + delta WAL); with "
+                        "--replicas, replicas hydrate from the persisted state")
+    p.add_argument("--restore", action="store_true",
+                   help="recover the index from --wal-dir (snapshot + WAL tail "
+                        "replay) instead of building it")
     p.set_defaults(fn=_cmd_serve_demo)
 
     return parser

@@ -47,6 +47,29 @@ class NeighborHeaps:
         self.journal: list[tuple[int, int, bool]] | None = None
 
     # ------------------------------------------------------------------
+    # Pickling (snapshot clones: replicas, process shards, persistence)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # ``ids``/``scores`` are views into the capacity buffers, and
+        # numpy pickles a view as an independent copy — a round-trip
+        # would silently sever them from ``_ids_buf``/``_scores_buf``.
+        # The next within-capacity grow() then rebinds the views to the
+        # stale buffer, reverting every edge change applied since the
+        # unpickle (a corruption the WAL-recovery property tests
+        # caught). Ship the occupied prefix once, rebuild on load.
+        state = self.__dict__.copy()
+        state["_ids_buf"] = self.ids.copy()
+        state["_scores_buf"] = self.scores.copy()
+        del state["ids"], state["scores"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.ids = self._ids_buf[: self.n]
+        self.scores = self._scores_buf[: self.n]
+
+    # ------------------------------------------------------------------
 
     def size(self, u: int) -> int:
         """Number of occupied slots in ``u``'s list."""
@@ -176,27 +199,39 @@ class NeighborHeaps:
         Replays are journaled like any other structural change, so a
         replica's own subscribers (reverse adjacency, caches) keep
         composing.
+
+        Hot path: WAL recovery replays every delta since the last
+        checkpoint through here, so the per-edge slot scans run as
+        plain-python ``list.index`` over the k-element row — on rows
+        this small that beats a numpy masked scan by an order of
+        magnitude (profiled; it is most of the restart time).
         """
         for u, v, added, score in edges:
-            row = self.ids[u]
-            slot = np.flatnonzero(row == v)
+            row = self.ids[u].tolist()
             if added:
-                if slot.size:  # re-add after a drop in the same stream
-                    self.scores[u, int(slot[0])] = score
+                try:  # re-add after a drop in the same stream
+                    self.scores[u, row.index(v)] = score
                     continue
-                free = np.flatnonzero(row == EMPTY)
-                if not free.size:
+                except ValueError:
+                    pass
+                try:
+                    free = row.index(EMPTY)
+                except ValueError:
                     raise ValueError(
                         f"no free slot for shipped edge {u}->{v} "
                         "(delta stream out of order or incomplete)"
-                    )
-                self.ids[u, int(free[0])] = v
-                self.scores[u, int(free[0])] = score
+                    ) from None
+                self.ids[u, free] = v
+                self.scores[u, free] = score
                 if self.journal is not None:
                     self.journal.append((int(u), int(v), True))
-            elif slot.size:
-                self.ids[u, int(slot[0])] = EMPTY
-                self.scores[u, int(slot[0])] = -np.inf
+            else:
+                try:
+                    slot = row.index(v)
+                except ValueError:
+                    continue
+                self.ids[u, slot] = EMPTY
+                self.scores[u, slot] = -np.inf
                 if self.journal is not None:
                     self.journal.append((int(u), int(v), False))
 

@@ -468,6 +468,22 @@ class OnlineIndex:
                 callback(event, user, replayed)
             return True
 
+    def attach_persistence(self, path, **kwargs):
+        """Persist this index into ``path``; returns the attached wrapper.
+
+        Convenience for :class:`repro.persist.DurableIndex`: a baseline
+        snapshot is written (when the directory is fresh) and every
+        subsequent mutation's :class:`ReplicaDelta` is appended to the
+        write-ahead log through a :meth:`subscribe_deltas` hook, so a
+        restart recovers the exact serving state with
+        ``DurableIndex.recover(path)`` instead of paying a rebuild.
+        Keyword arguments are forwarded (``checkpoint_bytes``,
+        ``fsync``, …).
+        """
+        from ..persist.durable import DurableIndex  # deferred: persist imports online
+
+        return DurableIndex(self, path, **kwargs)
+
     # ------------------------------------------------------------------
     # Read-side support (query-serving subsystem)
     # ------------------------------------------------------------------

@@ -1,0 +1,35 @@
+"""Durable serving — snapshot + delta-WAL persistence, restart recovery.
+
+The replication protocol (:meth:`~repro.online.OnlineIndex.clone` /
+``subscribe_deltas`` / ``apply_delta``) already turns every mutation
+into a picklable, replayable :class:`~repro.online.ReplicaDelta`; this
+package points that stream at disk so a process restart recovers the
+maintained graph instead of rebuilding it:
+
+* :class:`WriteAheadLog` — length-prefixed, checksummed, seq-stamped
+  records in rotating segment files; torn tails truncate cleanly,
+  corruption raises with the offending seq;
+* :class:`SnapshotStore` — atomic write-rename checkpoint files named
+  by the index version they captured;
+* :class:`DurableIndex` — attaches both to a live index through the
+  ``subscribe_deltas`` hook, checkpoints (and compacts the log) in the
+  background once it outgrows a threshold, and recovers snapshot +
+  WAL tail in O(|tail|) work with **zero similarity evaluations**.
+
+Convenience entry point:
+:meth:`OnlineIndex.attach_persistence(path) <repro.online.OnlineIndex.attach_persistence>`.
+See ``docs/persistence.md`` for the full lifecycle.
+"""
+
+from .durable import DurableIndex, RecoveryInfo
+from .snapshot import SnapshotStore
+from .wal import WALCorruptError, WALError, WriteAheadLog
+
+__all__ = [
+    "DurableIndex",
+    "RecoveryInfo",
+    "SnapshotStore",
+    "WALCorruptError",
+    "WALError",
+    "WriteAheadLog",
+]

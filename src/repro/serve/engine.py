@@ -142,6 +142,7 @@ class _ResultCache:
         return len(self._entries)
 
     def get(self, key: tuple, version: int) -> SearchResult | None:
+        """Cached result for ``key``, or ``None`` (LRU order refreshed)."""
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -217,11 +218,13 @@ class _ResultCache:
                     self.invalidations += 1
 
     def clear(self) -> None:
+        """Drop every entry and its postings (not counted as eviction)."""
         with self._lock:
             self._entries.clear()
             self._postings.clear()
 
     def postings_size(self) -> int:
+        """Total postings entries (tests bound the map's growth)."""
         with self._lock:
             return sum(len(keys) for keys in self._postings.values())
 

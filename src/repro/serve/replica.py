@@ -107,6 +107,16 @@ class ReplicaSet:
             delta queue).
         searcher_kwargs: forwarded to each replica's
             :class:`GraphSearcher` (``ef``, ``budget``, ``rerank``, …).
+        hydrate: optional zero-arg callable returning a detached
+            :class:`OnlineIndex` to bootstrap each *initial* replica
+            from — e.g. :meth:`repro.persist.DurableIndex.hydrate`,
+            which rebuilds one from the latest on-disk snapshot + WAL
+            tail instead of pickling the live primary under its read
+            lock. A hydrated replica that trails the primary catches
+            up through the usual seq-guarded delta path (a genuinely
+            lost gap heals as a counted resync, exactly like a clone
+            raced by a mutation). Resyncs always re-clone the primary:
+            they must land on its *current* version.
     """
 
     def __init__(
@@ -116,6 +126,7 @@ class ReplicaSet:
         *,
         mode: str = "thread",
         searcher_kwargs: dict | None = None,
+        hydrate=None,
     ) -> None:
         if n_replicas < 1:
             raise ValueError("n_replicas must be >= 1")
@@ -125,23 +136,35 @@ class ReplicaSet:
         self.n_replicas = int(n_replicas)
         self.mode = mode
         self.searcher_kwargs = dict(searcher_kwargs or {})
+        self.hydrate = hydrate
         self.deltas_shipped = 0
         self.resyncs = 0
         self._ship_lock = threading.Lock()
         self._revive_locks = [threading.Lock() for _ in range(self.n_replicas)]
         self._closed = False
+        # Per-replica serving spend, fed from the SearchResults each
+        # batch returns (both transports), so the tier's aggregate
+        # similarity bill is one dict away — see stats()["serving"].
+        self._serving_lock = threading.Lock()
+        self._served = [
+            {"queries": 0, "evaluations": 0, "hops": 0}
+            for _ in range(self.n_replicas)
+        ]
         if mode == "thread":
             self._replicas: list[OnlineIndex] = []
             self._searchers: list[GraphSearcher] = []
             self._run_locks = [threading.Lock() for _ in range(self.n_replicas)]
             for _ in range(self.n_replicas):
-                replica = index.clone()
+                replica = hydrate() if hydrate is not None else index.clone()
                 self._replicas.append(replica)
                 self._searchers.append(
                     GraphSearcher(replica, **self.searcher_kwargs)
                 )
         else:
-            snapshot = index.snapshot_bytes()
+            if hydrate is not None:
+                snapshot = pickle.dumps(hydrate())
+            else:
+                snapshot = index.snapshot_bytes()
             self._pools: list[ProcessPoolExecutor | None] = []
             self._pending: list[list[bytes]] = [[] for _ in range(self.n_replicas)]
             self._needs_resync = [False] * self.n_replicas
@@ -266,16 +289,29 @@ class ReplicaSet:
         if self.mode == "thread":
             searcher = self._searchers[replica]
             with self._run_locks[replica]:
-                return [searcher.top_k(p, k=k) for p in profiles]
+                results = [searcher.top_k(p, k=k) for p in profiles]
+            return self._account(replica, results)
         future = self._submit(replica, _replica_search, profiles, k)
         try:
-            return future.result()
+            return self._account(replica, future.result())
         except Exception:
             # Worker died or its delta stream gapped: resync the pinned
             # pool from a fresh snapshot and retry the batch once.
             with self._ship_lock:
                 self._needs_resync[replica] = True
-            return self._submit(replica, _replica_search, profiles, k).result()
+            return self._account(
+                replica,
+                self._submit(replica, _replica_search, profiles, k).result(),
+            )
+
+    def _account(self, replica: int, results: list[SearchResult]) -> list[SearchResult]:
+        """Charge a served batch to replica ``replica``'s counters."""
+        with self._serving_lock:
+            counters = self._served[replica]
+            counters["queries"] += len(results)
+            counters["evaluations"] += sum(r.evaluations for r in results)
+            counters["hops"] += sum(r.hops for r in results)
+        return results
 
     # ------------------------------------------------------------------
     # Introspection
@@ -320,7 +356,18 @@ class ReplicaSet:
             return max((len(p) for p in self._pending), default=0)
 
     def stats(self) -> dict:
-        """Operational counters for dashboards, benchmarks and tests."""
+        """Operational counters for dashboards, benchmarks and tests.
+
+        ``"serving"`` aggregates what the tier *spent answering
+        queries* — per-replica and total similarity evaluations, walk
+        hops and query counts, accumulated from every batch's
+        :class:`SearchResult`\\ s — so the replicated read path reports
+        one dashboard number in the same counted-similarity currency
+        as builds and updates (the ROADMAP follow-up: replica walks
+        charge their clone's engine, not the primary's).
+        """
+        with self._serving_lock:
+            per_replica = [dict(counters) for counters in self._served]
         return {
             "n_replicas": self.n_replicas,
             "mode": self.mode,
@@ -328,6 +375,12 @@ class ReplicaSet:
             "resyncs": self.resyncs,
             "lag": self.lag(),
             "primary_version": self.index.version,
+            "serving": {
+                "queries": sum(c["queries"] for c in per_replica),
+                "evaluations": sum(c["evaluations"] for c in per_replica),
+                "hops": sum(c["hops"] for c in per_replica),
+                "per_replica": per_replica,
+            },
         }
 
     def close(self) -> None:

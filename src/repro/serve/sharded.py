@@ -97,6 +97,10 @@ class ShardedQueryEngine(AsyncSearchMixin):
             (``replicas=False``) always hash-partition.
         searcher_kwargs: forwarded to each shard's
             :class:`GraphSearcher` (``ef``, ``budget``, ``rerank``, …).
+        hydrate: forwarded to :class:`ReplicaSet` — bootstrap the
+            initial replicas from persisted state (e.g.
+            :meth:`repro.persist.DurableIndex.hydrate`) instead of
+            cloning the live primary. Requires ``replicas=True``.
     """
 
     def __init__(
@@ -111,6 +115,7 @@ class ShardedQueryEngine(AsyncSearchMixin):
         replicas: bool = False,
         routing: str | None = None,
         searcher_kwargs: dict | None = None,
+        hydrate=None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -127,6 +132,8 @@ class ShardedQueryEngine(AsyncSearchMixin):
                 "routing policies require replicas=True "
                 "(shared-state shards are hash-partitioned)"
             )
+        if hydrate is not None and not replicas:
+            raise ValueError("hydrate requires replicas=True")
         self.index = index
         self.n_shards = int(n_shards)
         self.default_k = int(k)
@@ -154,6 +161,7 @@ class ShardedQueryEngine(AsyncSearchMixin):
                 self.n_shards,
                 mode=executor,
                 searcher_kwargs=self.searcher_kwargs,
+                hydrate=hydrate,
             )
             self._searchers = []
             self._shard_locks = []
@@ -388,5 +396,6 @@ class ShardedQueryEngine(AsyncSearchMixin):
                 deltas_shipped=replica["deltas_shipped"],
                 resyncs=replica["resyncs"],
                 replica_lag=replica["lag"],
+                replica_serving=replica["serving"],
             )
         return out

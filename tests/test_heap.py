@@ -268,3 +268,33 @@ class TestEdgeJournal:
         rows = h.purge_id_rows(1, np.array([0, 2, 4]))
         assert list(rows) == [0]
         assert h.drain_journal() == [(0, 1, False)]
+
+
+class TestPickleRoundtrip:
+    """Snapshot clones must keep the view/buffer invariant (PR 5 fix)."""
+
+    def test_views_rebind_to_buffers_after_unpickle(self):
+        import pickle
+
+        h = NeighborHeaps(4, 3)
+        h.push(0, 1, 0.5)
+        h.grow(6)  # doubles capacity: views now cover a prefix only
+        h2 = pickle.loads(pickle.dumps(h))
+        assert h2.ids.base is h2._ids_buf
+        assert h2.scores.base is h2._scores_buf
+
+    def test_within_capacity_grow_keeps_post_unpickle_edits(self):
+        """The corruption the WAL property suite caught: a clone taken
+        while spare capacity existed lost every post-clone edge change
+        on its next within-capacity grow (the views were rebound to the
+        stale pickled buffer)."""
+        import pickle
+
+        h = NeighborHeaps(4, 3)
+        h.push(0, 1, 0.5)
+        h.grow(6)  # capacity now 8 > n
+        h2 = pickle.loads(pickle.dumps(h))
+        h2.push(0, 2, 0.9)  # post-clone edit
+        h2.grow(7)  # within whatever capacity the clone kept
+        assert h2.contains(0, 2)
+        assert h2.ids.base is h2._ids_buf
