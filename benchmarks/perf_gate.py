@@ -12,9 +12,11 @@ Floor semantics, per ``{run: {metric: floor}}`` entry:
 * metrics whose name contains ``recall`` or ``converged`` are hard
   floors — the measured value must be ``>= floor`` (``converged`` is
   a boolean, floor ``true`` means "must be true");
-* metrics whose name contains ``resyncs`` or ``reforks`` are hard
-  **ceilings** — the measured value must be ``<= floor`` (the replica
-  tier's zero-re-fork contract, enforced on every CI run);
+* metrics whose name contains ``resyncs``, ``reforks``, ``resplits``
+  or ``rebuilds`` are hard **ceilings** — the measured value must be
+  ``<= floor`` (the replica tier's zero-re-fork contract and the
+  scenario suite's bounded-resplit / no-rebuild contract, enforced on
+  every CI run);
 * every other metric is a **throughput** floor with 30% tolerance —
   the measured value must be ``>= 0.7 * floor``. Floors are set well
   below typical dev-machine numbers because CI runners are slow and
@@ -44,7 +46,10 @@ def is_hard_floor(metric: str) -> bool:
 
 def is_ceiling(metric: str) -> bool:
     """Counters that must stay at-or-below their committed value."""
-    return "resyncs" in metric or "reforks" in metric
+    return any(
+        needle in metric
+        for needle in ("resyncs", "reforks", "resplits", "rebuilds")
+    )
 
 
 def check(runs: dict, floors: dict) -> list[str]:

@@ -1,6 +1,16 @@
 """Benchmark harness: workloads, runner, table reporting."""
 
 from .report import emit, emit_json, format_table, results_dir
+from .scenarios import (
+    SCENARIOS,
+    DriftTracker,
+    IndexWorld,
+    Op,
+    Scenario,
+    SimWorld,
+    make_scenario,
+    play,
+)
 from .runner import (
     ALGORITHMS,
     Run,
@@ -19,11 +29,19 @@ from .workloads import (
 
 __all__ = [
     "ALGORITHMS",
+    "DriftTracker",
+    "IndexWorld",
+    "Op",
     "Run",
+    "SCENARIOS",
+    "Scenario",
+    "SimWorld",
     "Workload",
     "bench_scale",
     "emit",
     "emit_json",
+    "make_scenario",
+    "play",
     "evaluate_run",
     "exact_graph",
     "format_table",

@@ -99,6 +99,15 @@ class MixedWorkload:
     against different serving configurations. The caller resolves each
     kind against live state (which user to touch, which profile to
     query) with its own seeded RNG.
+
+    .. note::
+       Resolving targets is the caller's job, and the historical
+       callers drew query users uniformly from the *initial* id range
+       — silently querying deleted ids late in a tape. The scenario
+       suite (:mod:`repro.bench.scenarios`) supersedes this class for
+       new workloads: :class:`~repro.bench.scenarios.UniformMixed` is
+       the same 90/10 mix with every target resolved against the live
+       id set at execution time.
     """
 
     n_ops: int = 1000

@@ -12,7 +12,13 @@ from ..data.dataset import Dataset
 from .fastrandomhash import UNDEFINED, FastRandomHash
 from .hashing import GenerativeHash, MinHashPermutation
 
-__all__ = ["Cluster", "ClusteringResult", "cluster_dataset", "minhash_cluster_dataset"]
+__all__ = [
+    "Cluster",
+    "ClusteringResult",
+    "cluster_dataset",
+    "group_by_value",
+    "minhash_cluster_dataset",
+]
 
 
 @dataclass(frozen=True)
@@ -77,8 +83,15 @@ class ClusteringResult:
         return [c for c in self.clusters if c.config == config]
 
 
-def _group_by_value(users: np.ndarray, values: np.ndarray) -> list[tuple[int, np.ndarray]]:
-    """Group ``users`` by their hash ``values``; returns (value, users) pairs."""
+def group_by_value(users: np.ndarray, values: np.ndarray) -> list[tuple[int, np.ndarray]]:
+    """Group ``users`` by their hash ``values``; returns (value, users) pairs.
+
+    Groups come back in ascending hash-value order; within a group the
+    original order of ``users`` is preserved (stable sort). Shared by
+    the batch splitter below and the online re-split
+    (:meth:`repro.online.OnlineIndex._resplit`), which relies on the
+    order guarantee to keep primary and replica member lists identical.
+    """
     order = np.argsort(values, kind="stable")
     users, values = users[order], values[order]
     boundaries = np.flatnonzero(np.diff(values)) + 1
@@ -116,7 +129,7 @@ def split_cluster(
 
     stay_users = [cluster.users[stay_mask]]
     children: list[Cluster] = []
-    for value, members in _group_by_value(moved, moved_hashes):
+    for value, members in group_by_value(moved, moved_hashes):
         if members.size <= 1:
             stay_users.append(members)  # singletons remain in C
         else:
@@ -158,7 +171,7 @@ def cluster_dataset(
     for config, gen in enumerate(hashes):
         frh = FastRandomHash(gen)
         user_hashes = frh.user_hashes(dataset)
-        for value, members in _group_by_value(all_users, user_hashes):
+        for value, members in group_by_value(all_users, user_hashes):
             cluster = Cluster(users=members, config=config, eta=value, path=(value,))
             if split_threshold is not None:
                 pieces, splits = split_cluster(
@@ -195,7 +208,7 @@ def minhash_cluster_dataset(
         if nonempty.size:
             mins = np.minimum.reduceat(ranks, dataset.indptr[nonempty])
             user_min[nonempty] = mins
-        for value, members in _group_by_value(all_users, user_min):
+        for value, members in group_by_value(all_users, user_min):
             clusters.append(
                 Cluster(
                     users=members, config=config, eta=value,

@@ -13,6 +13,18 @@ Cluster-and-Conquer graph fresh under a stream of profile updates:
 * ``remove_user(user)`` — tombstone the profile and detach the node,
   at zero similarity cost.
 
+Clusters swollen past ``split_threshold`` by churn are **re-split
+online** (``auto_resplit``, on by default): the mutation that pushed a
+cluster over the threshold re-partitions it with the same ``H\\eta``
+re-hash the batch splitter uses, registers the children under their
+lineage keys, and publishes the membership changes as a ``resplit``
+event through the standard journal — so ReverseAdjacency, caches,
+replicas and the WAL all stay consistent, and quality survives
+sustained churn without ever paying a full :meth:`OnlineIndex.rebuild`.
+A re-split moves no graph edges and costs **zero similarity
+evaluations** (hashing only); its bookkeeping lands in ``n_resplits`` /
+``resplit_moved``.
+
 Per update, similarities are computed once against a candidate set
 (current cluster members across the ``t`` configurations, previous
 neighbours, and holders of reverse edges) with a single counted
@@ -36,7 +48,9 @@ import numpy as np
 
 from .._sync import RWLock
 from ..core.cluster_and_conquer import cluster_and_conquer
+from ..core.clustering import group_by_value
 from ..core.config import C2Params
+from ..core.fastrandomhash import UNDEFINED
 from ..graph.heap import EMPTY
 from ..graph.reverse import ReverseAdjacency
 from ..result import BuildResult
@@ -90,6 +104,12 @@ class ReplicaDelta:
             mutation are shipped as 0.0; the later drop erases them).
         n_users: user-slot count after the mutation.
         n_items: item-universe size after the mutation.
+        resplit: payload of a ``resplit`` event (``None`` otherwise):
+            ``{"config", "marks", "members", "unsplittable"}`` — the
+            configuration that split, the lineages newly marked split,
+            the **final member lists** of every touched cluster id (in
+            primary order, so replica member lists replay identically),
+            and the cluster ids frozen as unsplittable residuals.
     """
 
     seq: int
@@ -101,6 +121,7 @@ class ReplicaDelta:
     edges: list[tuple[int, int, bool, float]] = field(default_factory=list)
     n_users: int = 0
     n_items: int = 0
+    resplit: dict | None = None
 
 
 class OnlineIndex:
@@ -115,6 +136,25 @@ class OnlineIndex:
             ``cluster_and_conquer(engine, params, keep_clustering=True)``
             to adopt; built fresh when omitted. The graph is taken over
             and mutated in place.
+        auto_resplit: re-split clusters online as soon as a mutation
+            pushes them past ``params.split_threshold`` (default).
+            ``False`` restores the pre-resplit behaviour — clusters
+            swell until :meth:`rebuild` — which the scenario benchmark
+            uses as its drift baseline.
+        update_cap: bound on the per-configuration cluster candidate
+            pool one mutation is scored against (``None`` = unbounded,
+            the historical behaviour). A production write path cannot
+            afford O(cluster size) similarity evaluations per mutation
+            once clusters swell, so the serving benchmarks cap it;
+            oversized pools are subsampled deterministically (evenly
+            spaced members, mirroring :meth:`seed_candidates`).
+            Previous neighbours and reverse-edge holders always stay
+            in the pool, the cap only bounds the cluster sweep. With
+            ``auto_resplit`` keeping clusters at or under the split
+            threshold, a cap ≥ the threshold never truncates anything
+            — which is exactly the re-split quality story: bounded
+            write cost *without* sampling away the homogeneous
+            candidates a newcomer's edges are built from.
     """
 
     def __init__(
@@ -122,6 +162,8 @@ class OnlineIndex:
         engine: SimilarityEngine,
         params: C2Params | None = None,
         build: BuildResult | None = None,
+        auto_resplit: bool = True,
+        update_cap: int | None = None,
     ) -> None:
         params = params or C2Params()
         if params.hash_family != "frh":
@@ -137,9 +179,14 @@ class OnlineIndex:
         if build is None or "clustering" not in build.extra:
             build = cluster_and_conquer(engine, params, keep_clustering=True)
         self.build_result = build
+        self.auto_resplit = bool(auto_resplit)
+        self.update_cap = None if update_cap is None else int(update_cap)
         self.n_updates = 0
         self.update_comparisons = 0
         self.refill_comparisons = 0
+        self.n_resplits = 0
+        self.resplit_moved = 0
+        self.n_rebuilds = 0
         self.version = 0
         self.lock = RWLock()  # mutations write, serving walks read
         self._listeners: list = []
@@ -157,12 +204,17 @@ class OnlineIndex:
         backend: str = "goldfinger",
         n_bits: int = 1024,
         seed: int = 7,
+        auto_resplit: bool = True,
+        update_cap: int | None = None,
     ) -> "OnlineIndex":
         """Build an index from a dataset (frozen datasets are thawed)."""
         if not isinstance(dataset, MutableDataset):
             dataset = MutableDataset.from_dataset(dataset)
         engine = make_engine(dataset, backend=backend, n_bits=n_bits, seed=seed)
-        return cls(engine, params=params)
+        return cls(
+            engine, params=params, auto_resplit=auto_resplit,
+            update_cap=update_cap,
+        )
 
     # ------------------------------------------------------------------
     # State derived from a batch build
@@ -179,12 +231,18 @@ class OnlineIndex:
         self._assign: list[list[int]] = [
             [-1] * self.n_configs for _ in range(self._data.n_users)
         ]
+        # Residual clusters from the batch split must never be re-split
+        # online with the same eta (a no-op by construction) — the same
+        # rule freezes online residuals, see _resplit.
+        self._unsplittable: set[int] = set()
         for cluster in clustering.clusters:
             cid = len(self._members)
             members = [int(u) for u in cluster.users if self._data.is_active(int(u))]
             self._members.append(members)
             self._cluster_key.append((cluster.config, cluster.lineage))
             self._router.register(cluster.config, cluster.lineage, cid)
+            if not cluster.splittable:
+                self._unsplittable.add(cid)
             for u in members:
                 self._assign[u][cluster.config] = cid
         # Tombstoned users must not resurface through a batch rebuild
@@ -282,8 +340,11 @@ class OnlineIndex:
         """Register ``callback(event, user, deltas)`` after every mutation.
 
         Events: ``add_user``, ``add_items``, ``remove_user``,
-        ``refill``, ``rebuild``. ``user`` is the mutated user id (-1
-        for ``rebuild``). ``deltas`` is the list of per-edge changes
+        ``refill``, ``resplit``, ``rebuild``. ``user`` is the mutated
+        user id (-1 for ``resplit`` and ``rebuild``; a re-split changes
+        routing state for many users at once, so result caches treat it
+        like a global event and clear — see
+        ``repro.serve.engine``). ``deltas`` is the list of per-edge changes
         the mutation made to the graph, as ``(u, v, added)`` triples in
         application order — empty for ``rebuild``, whose edge set is
         replaced wholesale. ``repro.serve.QueryEngine`` wires its
@@ -314,7 +375,7 @@ class OnlineIndex:
         """Remove a previously registered delta listener."""
         self._delta_listeners.remove(callback)
 
-    def _notify(self, event: str, user: int, items=None) -> None:
+    def _notify(self, event: str, user: int, items=None, resplit=None) -> None:
         deltas = self.graph.heaps.drain_journal()
         self.version += 1
         if self._reverse is not None:
@@ -323,14 +384,16 @@ class OnlineIndex:
         new_clusters = self._cluster_key[self._n_notified_clusters :]
         self._n_notified_clusters = len(self._cluster_key)
         if self._delta_listeners:
-            delta = self._export_delta(event, user, deltas, items, new_clusters)
+            delta = self._export_delta(
+                event, user, deltas, items, new_clusters, resplit
+            )
             for callback in list(self._delta_listeners):
                 callback(delta)
         for callback in list(self._listeners):
             callback(event, user, deltas)
 
     def _export_delta(
-        self, event: str, user: int, deltas, items, new_clusters
+        self, event: str, user: int, deltas, items, new_clusters, resplit=None
     ) -> ReplicaDelta:
         """Annotate a drained journal into a shippable :class:`ReplicaDelta`.
 
@@ -361,6 +424,7 @@ class OnlineIndex:
             edges=edges,
             n_users=self._data.n_users,
             n_items=self._data.n_items,
+            resplit=resplit,
         )
 
     # ------------------------------------------------------------------
@@ -438,6 +502,21 @@ class OnlineIndex:
                 self._cluster_key.append((config, lineage))
                 self._router.register(config, lineage, cid)
             self._n_notified_clusters = len(self._cluster_key)
+            if delta.resplit is not None:
+                # Replay an online re-split: mark the lineages split so
+                # routing descends identically, then adopt the shipped
+                # final member lists wholesale (primary order — the
+                # deterministic seed subsample reads positions).
+                rs = delta.resplit
+                config = int(rs["config"])
+                for lineage in rs["marks"]:
+                    self._router.mark_split(config, tuple(lineage))
+                for cid, users in rs["members"]:
+                    members = [int(u) for u in users]
+                    for u in members:
+                        self._assign[u][config] = int(cid)
+                    self._members[int(cid)] = members
+                self._unsplittable.update(int(c) for c in rs["unsplittable"])
             if delta.assign is not None:
                 for config, cid in enumerate(delta.assign):
                     old = self._assign[user][config]
@@ -580,6 +659,14 @@ class OnlineIndex:
             "build_comparisons": self.build_result.comparisons,
             "n_clusters": int((sizes > 0).sum()),
             "max_cluster_size": int(sizes.max()) if sizes.size else 0,
+            "n_oversized": (
+                0
+                if self.params.split_threshold is None
+                else int((sizes > self.params.split_threshold).sum())
+            ),
+            "n_resplits": self.n_resplits,
+            "resplit_moved": self.resplit_moved,
+            "n_rebuilds": self.n_rebuilds,
             "n_degraded": len(self._degraded),
             "reverse_built": self._reverse is not None,
             "version": self.version,
@@ -600,6 +687,7 @@ class OnlineIndex:
             self._assign.append([-1] * self.n_configs)
             self._update(uid)
             self._notify("add_user", uid, items=self._data.profile(uid).copy())
+            self._maybe_resplit(uid)
             return uid
 
     def add_items(self, user: int, items) -> np.ndarray:
@@ -614,6 +702,7 @@ class OnlineIndex:
                 self.engine.update_profile(user, added)
                 self._update(user)
                 self._notify("add_items", user, items=added)
+                self._maybe_resplit(user)
             return added
 
     def remove_user(self, user: int) -> None:
@@ -649,13 +738,110 @@ class OnlineIndex:
         Replaces the graph and the cluster state in place (clusters
         swollen by churn are re-balanced); the engine and its counters
         carry over, so the rebuild's cost lands in ``comparisons``.
+        With :meth:`_resplit` handling swollen clusters online this is
+        an off-peak tool, not a churn tax — the scenario benchmark's
+        acceptance counts ``n_rebuilds`` to prove the tape needed none.
         """
         with self.lock.write():
             build = cluster_and_conquer(self.engine, self.params, keep_clustering=True)
             self.build_result = build
+            self.n_rebuilds += 1
             self._install(build)
             self._notify("rebuild", -1)
             return build
+
+    # ------------------------------------------------------------------
+    # Online cluster re-split
+    # ------------------------------------------------------------------
+
+    def _maybe_resplit(self, user: int) -> None:
+        """Re-split any cluster this mutation pushed past the threshold.
+
+        Called under the write lock after the mutation's own notify, so
+        a re-split is journaled as its own ``resplit`` event (own
+        version, own :class:`ReplicaDelta`) and replicas replay the two
+        in the exact primary order.
+        """
+        threshold = self.params.split_threshold
+        if not self.auto_resplit or threshold is None or user < 0:
+            return
+        for config in range(self.n_configs):
+            cid = self._assign[user][config]
+            if (
+                cid >= 0
+                and cid not in self._unsplittable
+                and len(self._members[cid]) > threshold
+            ):
+                self._resplit(cid)
+
+    def _resplit(self, cid: int) -> None:
+        """Re-partition one oversized cluster by the batch split rule.
+
+        The members are re-hashed with ``H\\eta`` (``eta`` = the
+        cluster's last lineage value); users with an undefined hash or
+        alone in their new value stay in the residual (which keeps
+        ``cid`` and is frozen unsplittable, exactly like the batch
+        splitter's residuals), every larger group becomes a child
+        cluster registered under ``lineage + (value,)``. Oversized
+        children are split recursively within the same event. Costs
+        **zero similarity evaluations** — hashing and list surgery
+        only — and moves no graph edges; what it changes is routing:
+        seeds and update candidate pools come from tight, homogeneous
+        clusters again, which is what holds recall under churn.
+
+        Publishes one ``resplit`` event whose payload carries the new
+        split marks and the final member lists of every touched
+        cluster, so replicas, caches and the WAL replay the exact
+        routing state.
+        """
+        threshold = self.params.split_threshold
+        config, _ = self._cluster_key[cid]
+        marks: list[tuple] = []
+        frozen: list[int] = []
+        touched: set[int] = set()
+        stack = [cid]
+        while stack:
+            c = stack.pop()
+            members = self._members[c]
+            if c in self._unsplittable or len(members) <= threshold:
+                continue
+            _, lineage = self._cluster_key[c]
+            values = self._router.split_hashes(
+                config, self._data, members, int(lineage[-1])
+            )
+            moved: set[int] = set()
+            for value, group in group_by_value(
+                np.asarray(members, dtype=np.int64), values
+            ):
+                if value == UNDEFINED or group.size <= 1:
+                    continue  # undefined hashes and singletons stay put
+                child_lineage = lineage + (int(value),)
+                child = len(self._members)
+                child_members = [int(u) for u in group]
+                self._members.append(child_members)
+                self._cluster_key.append((config, child_lineage))
+                self._router.register(config, child_lineage, child)
+                for u in child_members:
+                    self._assign[u][config] = child
+                moved.update(child_members)
+                touched.add(child)
+                if len(child_members) > threshold:
+                    stack.append(child)
+            self._router.mark_split(config, lineage)
+            marks.append(tuple(lineage))
+            self._members[c] = [u for u in members if u not in moved]
+            self._unsplittable.add(c)
+            frozen.append(c)
+            touched.add(c)
+            self.n_resplits += 1
+            self.resplit_moved += len(moved)
+        payload = {
+            "config": int(config),
+            "marks": marks,
+            "members": [(int(c), list(self._members[c])) for c in sorted(touched)],
+            "unsplittable": [int(c) for c in frozen],
+        }
+        self._notify("resplit", -1, resplit=payload)
 
     # ------------------------------------------------------------------
 
@@ -680,7 +866,16 @@ class OnlineIndex:
                     self._members[old].remove(user)
                 self._members[cid].append(user)
                 self._assign[user][config] = cid
-            candidate_pools.append(np.array(self._members[cid], dtype=np.int64))
+            members = self._members[cid]
+            if self.update_cap is not None and len(members) > self.update_cap:
+                # Swollen cluster: bound the sweep with the same
+                # deterministic evenly-spaced subsample the read path
+                # uses. This is where a no-resplit index pays in edge
+                # quality — a newcomer's candidates are a thin sample
+                # of a heterogeneous blob instead of a tight cluster.
+                step = max(1, len(members) // self.update_cap)
+                members = members[::step][: self.update_cap]
+            candidate_pools.append(np.array(members, dtype=np.int64))
 
         # Candidate edges: cluster peers across all t configurations,
         # plus every existing edge touching the user in either

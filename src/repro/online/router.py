@@ -54,6 +54,39 @@ class ClusterRouter:
         """Number of hashing configurations ``t``."""
         return len(self._hashes)
 
+    @property
+    def split_paths(self) -> frozenset:
+        """All ``(config, lineage)`` pairs currently marked as split."""
+        return frozenset(self._split)
+
+    def is_split(self, config: int, lineage: tuple) -> bool:
+        """Whether ``lineage`` was split (at build time or online)."""
+        return (int(config), tuple(lineage)) in self._split
+
+    def mark_split(self, config: int, lineage: tuple) -> None:
+        """Record an **online** split of ``lineage``.
+
+        After this, :meth:`route` descends past the lineage exactly as
+        it does for build-time splits — the primitive
+        :meth:`repro.online.OnlineIndex._resplit` re-partitions
+        oversized clusters with (and replicas replay from the shipped
+        ``resplit`` delta payload).
+        """
+        self._split.add((int(config), tuple(lineage)))
+
+    def split_hashes(self, config: int, dataset, users, eta: int):
+        """``H\\eta`` values for ``users`` under configuration ``config``.
+
+        The re-hash an online re-split groups a swollen cluster's
+        members by — the same
+        :meth:`~repro.core.fastrandomhash.FastRandomHash.user_hashes_excluding`
+        sweep the batch splitter uses, so online children are exactly
+        the clusters a batch split of the same member set would form.
+        """
+        return self._frh[config].user_hashes_excluding(
+            dataset, np.asarray(users, dtype=np.int64), int(eta)
+        )
+
     def ensure_items(self, n_items: int) -> None:
         """Extend the hash tables to cover a grown item universe."""
         for gen in self._hashes:

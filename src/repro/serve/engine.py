@@ -27,7 +27,10 @@ into a service front end:
     the answer she should now appear in. Entries untouched by both
     rules may still go stale against *unrelated* graph drift until
     they expire from the LRU; ``"full"`` mode trades the hit rate
-    back for strictness.
+    back for strictness. Global events (``user < 0``: ``rebuild``
+    and online ``resplit``) clear the whole cache even in partial
+    mode — a re-split reassigns many users' clusters at once, so
+    every cached answer's routing may have changed.
   - ``"full"``: every mutation drops the whole cache and entries are
     version-stamped — the strict PR-2 contract that a cached answer
     always equals a fresh search against the current index state.
@@ -202,8 +205,9 @@ class _ResultCache:
         """
         with self._lock:
             if self.mode == "full" or user < 0 or event == "rebuild":
-                # Full mode always clears; a rebuild replaces the whole
-                # edge set, so even partial mode has nothing to keep.
+                # Full mode always clears; global events (rebuild,
+                # resplit — both carry user == -1) reassign clusters
+                # wholesale, so even partial mode has nothing to keep.
                 if self._entries:
                     self.invalidations += len(self._entries)
                     self._entries.clear()

@@ -374,3 +374,94 @@ class TestLazyRefill:
         index = self._degrade(small_dataset)
         index.rebuild()
         assert not index.degraded
+
+
+class TestResplit:
+    """Unit tests for online cluster re-split (the ISSUE-6 tentpole)."""
+
+    def _swollen(self, small_dataset, auto_resplit, threshold=40):
+        """An index plus a stream of correlated signups that swell
+        whichever clusters the donor community routes to."""
+        index = OnlineIndex.build(
+            small_dataset,
+            params=_params(split_threshold=threshold),
+            auto_resplit=auto_resplit,
+        )
+        rng = np.random.default_rng(5)
+        donor = index.dataset.profile(0)
+        for _ in range(80):
+            keep = donor[rng.random(donor.size) > 0.4]
+            extra = rng.integers(0, index.dataset.n_items, size=6)
+            index.add_user(np.union1d(keep, extra))
+        return index
+
+    def test_auto_resplit_holds_the_size_invariant(self, small_dataset):
+        index = self._swollen(small_dataset, auto_resplit=True)
+        stats = index.stats()
+        assert stats["n_resplits"] > 0
+        assert stats["n_rebuilds"] == 0
+        for cid, members in enumerate(index._members):
+            assert (
+                len(members) <= index.params.split_threshold
+                or cid in index._unsplittable
+            )
+
+    def test_disabled_resplit_lets_clusters_swell(self, small_dataset):
+        index = self._swollen(small_dataset, auto_resplit=False)
+        stats = index.stats()
+        assert stats["n_resplits"] == 0
+        assert stats["max_cluster_size"] > index.params.split_threshold
+
+    def test_resplit_costs_zero_comparisons(self, small_dataset):
+        index = self._swollen(small_dataset, auto_resplit=False)
+        over = [
+            cid for cid, m in enumerate(index._members)
+            if len(m) > index.params.split_threshold
+            and cid not in index._unsplittable
+        ]
+        assert over
+        before = index.engine.comparisons
+        for cid in over:
+            index._resplit(cid)
+        assert index.engine.comparisons == before
+        assert index.stats()["n_resplits"] >= len(over)
+
+    def test_resplit_keeps_members_and_assign_consistent(self, small_dataset):
+        index = self._swollen(small_dataset, auto_resplit=True)
+        for cid, members in enumerate(index._members):
+            config, _ = index._cluster_key[cid]
+            for u in members:
+                assert index._assign[u][config] == cid
+        for u in index.dataset.active_users():
+            for config, cid in enumerate(index._assign[int(u)]):
+                if cid >= 0:
+                    assert int(u) in index._members[cid]
+
+    def test_resplit_emits_one_global_event(self, small_dataset):
+        index = OnlineIndex.build(
+            small_dataset, params=_params(split_threshold=40),
+            auto_resplit=True,
+        )
+        events = []
+        index.subscribe(lambda event, user, deltas: events.append((event, user)))
+        rng = np.random.default_rng(5)
+        donor = index.dataset.profile(0)
+        while index.stats()["n_resplits"] == 0:
+            keep = donor[rng.random(donor.size) > 0.4]
+            index.add_user(np.union1d(keep, rng.integers(0, 500, size=6)))
+        resplits = [e for e in events if e[0] == "resplit"]
+        assert resplits and all(user == -1 for _, user in resplits)
+
+    def test_update_cap_subsamples_swollen_pools(self, small_dataset):
+        """With a cap, updates against a swollen index cost less."""
+        uncapped = self._swollen(small_dataset, auto_resplit=False)
+        capped = self._swollen(small_dataset, auto_resplit=False)
+        capped.update_cap = 40
+        probe = np.arange(0, 30, dtype=np.int64)
+        b0 = uncapped.engine.comparisons
+        uncapped.add_user(probe)
+        cost_uncapped = uncapped.engine.comparisons - b0
+        b1 = capped.engine.comparisons
+        capped.add_user(probe)
+        cost_capped = capped.engine.comparisons - b1
+        assert cost_capped < cost_uncapped

@@ -1,0 +1,205 @@
+"""Unit tests for the scenario suite (repro.bench.scenarios).
+
+Each scenario is a seeded generator of fully resolved ops sampled
+against the live id set. The tests drive tapes through a strict
+:class:`SimWorld` (which raises on any op touching a dead id — so
+merely completing a tape is the live-id soundness check the ISSUE-6
+blind-spot fix demands) and assert determinism, op-mix ratios,
+Zipfian skew and flash-crowd burst shape.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import SCENARIOS, Op, SimWorld, make_scenario
+from repro.bench.scenarios import (
+    CorrelatedDeletes,
+    FlashCrowd,
+    SustainedChurn,
+    UniformMixed,
+    ZipfianQueries,
+)
+
+
+def _run(scenario, world):
+    """Apply a tape against ``world``; returns the ops in order."""
+    ops = []
+    for op in scenario.ops(world):
+        world.apply(op)
+        ops.append(op)
+    return ops
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_same_seed_same_tape(self, name):
+        tapes = []
+        for _ in range(2):
+            world = SimWorld.random(150, n_items=300, seed=7)
+            ops = _run(make_scenario(name, 400, seed=3), world)
+            tapes.append([op.signature() for op in ops])
+        assert tapes[0] == tapes[1]
+        assert len(tapes[0]) == 400
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_different_seed_different_tape(self, name):
+        w1 = SimWorld.random(150, n_items=300, seed=7)
+        w2 = SimWorld.random(150, n_items=300, seed=7)
+        t1 = [op.signature() for op in _run(make_scenario(name, 300, seed=3), w1)]
+        t2 = [op.signature() for op in _run(make_scenario(name, 300, seed=4), w2)]
+        assert t1 != t2
+
+
+class TestLiveIdSoundness:
+    """The blind-spot regression: every target comes from the live set.
+
+    SimWorld raises on dead targets, so completing a removal-heavy
+    tape is itself the assertion; the explicit bookkeeping below also
+    pins the invariant down independently of SimWorld's checks.
+    """
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_no_op_targets_a_dead_id(self, name):
+        world = SimWorld.random(80, n_items=200, seed=1)
+        removed: set[int] = set()
+        scenario = make_scenario(name, 600, seed=5)
+        for op in scenario.ops(world):
+            if op.kind in ("add_items", "remove_user"):
+                assert op.user not in removed
+            if op.kind == "remove_user":
+                removed.add(op.user)
+            world.apply(op)
+
+    def test_heavy_removal_tape_completes(self):
+        # Over half the initial population churns out; a tape sampling
+        # from the initial id range would hit a dead id with certainty.
+        world = SimWorld.random(60, n_items=200, seed=2)
+        scenario = UniformMixed(
+            n_ops=800, seed=9, read_fraction=0.3,
+            add_items_weight=0.2, add_user_weight=0.3, remove_user_weight=0.5,
+        )
+        ops = _run(scenario, world)
+        assert sum(op.kind == "remove_user" for op in ops) > 60
+
+
+class TestOpMix:
+    def test_read_fraction_within_tolerance(self):
+        world = SimWorld.random(300, n_items=400, seed=0)
+        ops = _run(UniformMixed(n_ops=4000, seed=1), world)
+        reads = sum(op.kind == "query" for op in ops) / len(ops)
+        assert reads == pytest.approx(0.9, abs=0.02)
+
+    def test_write_split_within_tolerance(self):
+        world = SimWorld.random(600, n_items=400, seed=0)
+        ops = _run(UniformMixed(n_ops=6000, seed=2), world)
+        writes = [op.kind for op in ops if op.kind != "query"]
+        n = len(writes)
+        assert writes.count("add_items") / n == pytest.approx(0.60, abs=0.06)
+        assert writes.count("add_user") / n == pytest.approx(0.25, abs=0.06)
+        assert writes.count("remove_user") / n == pytest.approx(0.15, abs=0.06)
+
+    def test_churn_is_write_heavy(self):
+        world = SimWorld.random(300, n_items=400, seed=0)
+        ops = _run(SustainedChurn(n_ops=2000, seed=3), world)
+        writes = sum(op.kind != "query" for op in ops) / len(ops)
+        assert writes == pytest.approx(0.5, abs=0.04)
+
+
+class TestZipfianSkew:
+    def test_rank_probabilities_follow_exponent(self):
+        s = ZipfianQueries(exponent=1.3, pool_size=32)
+        p = s.rank_probabilities()
+        # p(r) / p(2r) == 2^exponent exactly, by construction
+        assert p[0] / p[1] == pytest.approx(2.0 ** 1.3)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_empirical_skew_matches_exponent(self):
+        exponent = 1.2
+        world = SimWorld.random(200, n_items=300, seed=4)
+        scenario = ZipfianQueries(
+            n_ops=8000, seed=6, read_fraction=1.0,
+            exponent=exponent, pool_size=32,
+        )
+        counts: dict[tuple, int] = {}
+        for op in _run(scenario, world):
+            assert op.kind == "query"
+            key = op.signature()
+            counts[key] = counts.get(key, 0) + 1
+        freqs = np.sort(np.array(list(counts.values()), dtype=np.float64))[::-1]
+        # Fit log f(r) ~ -s log r over the well-sampled head ranks.
+        head = freqs[:8]
+        ranks = np.arange(1, head.size + 1, dtype=np.float64)
+        slope = np.polyfit(np.log(ranks), np.log(head), 1)[0]
+        assert -slope == pytest.approx(exponent, abs=0.3)
+
+
+class TestFlashCrowd:
+    def test_burst_positions_and_sizing(self):
+        world = SimWorld.random(150, n_items=300, seed=8)
+        scenario = FlashCrowd(n_ops=300, seed=2, burst_every=50, burst_size=10)
+        ops = _run(scenario, world)
+        for start in range(0, 300, 50):
+            burst = ops[start : start + 10]
+            assert all(op.kind == "add_user" for op in burst)
+        # Between bursts the signup rate falls back to the mixed mix.
+        gap_kinds = [op.kind for op in ops[10:50]]
+        assert gap_kinds.count("add_user") < 10
+
+    def test_burst_profiles_are_correlated(self):
+        world = SimWorld.random(150, n_items=300, seed=8)
+        scenario = FlashCrowd(
+            n_ops=60, seed=2, burst_every=60, burst_size=12, clone_fraction=0.7
+        )
+        ops = [op for op in _run(scenario, world) if op.kind == "add_user"][:12]
+        # All 12 clone the same seed user, so pairwise overlap is high.
+        first = set(int(i) for i in ops[0].items)
+        overlaps = [
+            len(first & set(int(i) for i in op.items)) / len(first)
+            for op in ops[1:]
+        ]
+        assert np.mean(overlaps) > 0.3
+
+
+class TestCorrelatedDeletes:
+    def test_cohorts_are_purged(self):
+        world = SimWorld.random(100, n_items=300, seed=3)
+        scenario = CorrelatedDeletes(
+            n_ops=800, seed=1, cohort_size=8, purge_after=2
+        )
+        ops = _run(scenario, world)
+        signups = [op for op in ops if op.kind == "add_user"]
+        removed = [op.user for op in ops if op.kind == "remove_user"]
+        assert len(signups) >= 16  # at least two full cohorts formed
+        # Purges target the scenario's own cohort members — ids past
+        # the initial population — not just background churn.
+        assert sum(uid >= 100 for uid in removed) >= 8
+
+    def test_purge_bursts_are_contiguous(self):
+        world = SimWorld.random(100, n_items=300, seed=3)
+        scenario = CorrelatedDeletes(
+            n_ops=800, seed=1, cohort_size=8, purge_after=2
+        )
+        ops = _run(scenario, world)
+        kinds = [op.kind for op in ops]
+        # Find a run of >= 4 consecutive removals — a cohort purge.
+        best = run = 0
+        for kind in kinds:
+            run = run + 1 if kind == "remove_user" else 0
+            best = max(best, run)
+        assert best >= 4
+
+
+class TestSimWorldStrictness:
+    def test_dead_target_raises(self):
+        world = SimWorld.random(5, n_items=50, seed=0)
+        world.apply(Op("remove_user", user=2))
+        with pytest.raises(ValueError):
+            world.apply(Op("add_items", user=2, items=np.array([1])))
+        with pytest.raises(ValueError):
+            world.apply(Op("remove_user", user=2))
+
+    def test_signup_records_last_uid(self):
+        world = SimWorld.random(5, n_items=50, seed=0)
+        world.apply(Op("add_user", items=np.array([1, 2, 3])))
+        assert world.last_uid == 5
+        assert 5 in world.live_users()
