@@ -17,6 +17,14 @@ Floor semantics, per ``{run: {metric: floor}}`` entry:
   ``<= floor`` (the replica tier's zero-re-fork contract and the
   scenario suite's bounded-resplit / no-rebuild contract, enforced on
   every CI run);
+* metrics whose name contains ``overhead`` are hard ceilings too —
+  the telemetry layer's ≤-5% instrumentation-cost contract gets no
+  slack (the benchmark already takes min-of-reps, so noise cancels);
+* latency metrics (name contains ``latency`` or ends in ``_ms``) are
+  **ceilings with the throughput tolerance** — the measured value
+  must be ``<= floor / 0.7``, the same 30% slack in the opposite
+  direction (CI runners are slow; the gate catches a latency
+  explosion, not jitter);
 * every other metric is a **throughput** floor with 30% tolerance —
   the measured value must be ``>= 0.7 * floor``. Floors are set well
   below typical dev-machine numbers because CI runners are slow and
@@ -48,8 +56,13 @@ def is_ceiling(metric: str) -> bool:
     """Counters that must stay at-or-below their committed value."""
     return any(
         needle in metric
-        for needle in ("resyncs", "reforks", "resplits", "rebuilds")
+        for needle in ("resyncs", "reforks", "resplits", "rebuilds", "overhead")
     )
+
+
+def is_latency_ceiling(metric: str) -> bool:
+    """Latency metrics: ceilings, but with the throughput tolerance."""
+    return "latency" in metric or metric.endswith("_ms")
 
 
 def check(runs: dict, floors: dict) -> list[str]:
@@ -71,6 +84,13 @@ def check(runs: dict, floors: dict) -> list[str]:
                 if value > floor:
                     failures.append(
                         f"{run}.{metric}: {value} above hard ceiling {floor}"
+                    )
+            elif is_latency_ceiling(metric):
+                if value > floor / TOLERANCE:
+                    failures.append(
+                        f"{run}.{metric}: {value} above ceiling {floor} "
+                        f"with {1 / TOLERANCE - 1:.0%} tolerance "
+                        "(latency explosion)"
                     )
             elif is_hard_floor(metric):
                 if value < floor:

@@ -14,7 +14,13 @@ Commands:
   serving subsystem and report QPS, latency percentiles, recall vs
   brute force and the fraction of similarities evaluated. With
   ``--wal-dir`` the index persists itself (snapshot + delta WAL) and
-  ``--restore`` recovers it from there instead of rebuilding.
+  ``--restore`` recovers it from there instead of rebuilding;
+  ``--metrics`` appends the live telemetry dashboard (registry
+  snapshot + slowest trace).
+* ``metrics-dump`` — exercise every serving layer (index mutations,
+  engine cache, replica shipping, WAL, journal consumer) on a small
+  workload, then dump the unified metrics registry as a table,
+  Prometheus text exposition or JSON.
 
 Examples::
 
@@ -23,7 +29,8 @@ Examples::
     python -m repro build --dataset AM --algo Hyrec --k 20
     python -m repro recall --dataset ml1M --folds 5
     python -m repro update-demo --dataset ml1M --updates 200
-    python -m repro serve-demo --dataset ml1M --queries 200
+    python -m repro serve-demo --dataset ml1M --queries 200 --metrics
+    python -m repro metrics-dump --format prometheus
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ import time
 
 import numpy as np
 
+from . import obs
 from .baselines import brute_force_knn
 from .bench.report import format_table
 from .bench.runner import ALGORITHMS, evaluate_run, run_algorithm
@@ -156,6 +164,43 @@ def _cmd_update_demo(args) -> int:
         )
     )
     return 0
+
+
+def _print_metrics_dashboard(registry, tracer) -> None:
+    """Print the registry's latency/counter dashboard plus one trace."""
+    snap = registry.snapshot()
+    hist_rows = []
+    for name, data in sorted(snap["histograms"].items()):
+        if not data["count"]:
+            continue
+        hist_rows.append(
+            {
+                "Histogram": name,
+                "Count": data["count"],
+                "p50": f"{data['p50']:.3g}",
+                "p99": f"{data['p99']:.3g}",
+                "Max": f"{data['max']:.3g}",
+            }
+        )
+    if hist_rows:
+        print(format_table(hist_rows, title="latency & size distributions"))
+    counter_rows = [
+        {"Counter": name, "Value": int(value)}
+        for name, value in sorted(snap["counters"].items())
+        if value
+    ]
+    if counter_rows:
+        print(format_table(counter_rows, title="counters"))
+    gauge_rows = [
+        {"Gauge": name, "Value": f"{value:.6g}"}
+        for name, value in sorted(snap["gauges"].items())
+    ]
+    if gauge_rows:
+        print(format_table(gauge_rows, title="gauges"))
+    slow = tracer.slow(1) or tracer.recent(1)
+    if slow:
+        print("slowest recent trace:")
+        print(obs.format_span(slow[-1], indent=1))
 
 
 def _cmd_serve_demo(args) -> int:
@@ -298,7 +343,67 @@ def _cmd_serve_demo(args) -> int:
             )
         )
         durable.close()
+    if args.metrics:
+        _print_metrics_dashboard(obs.metrics(), obs.tracer())
     queries.close()
+    return 0
+
+
+def _cmd_metrics_dump(args) -> int:
+    """Drive all five instrumented layers, then dump the registry."""
+    import tempfile
+
+    from .core.config import C2Params
+    from .data import SyntheticSpec, generate
+    from .obs import JournalMetrics
+    from .persist import DurableIndex
+    from .serve import ReplicaSet
+
+    spec = SyntheticSpec(
+        name="metricsdump", n_users=args.users, n_items=2 * args.users,
+        mean_profile_size=25.0, n_communities=8,
+        community_pool_size=max(40, args.users // 3), min_profile_size=8,
+    )
+    dataset = generate(spec, seed=args.seed)
+    params = C2Params(
+        k=args.k, n_buckets=64, n_hashes=4,
+        split_threshold=max(20, args.users // 5), seed=args.seed,
+    )
+    index = OnlineIndex.build(dataset, params=params)
+    journal = JournalMetrics(index)
+    engine = QueryEngine(index, k=10)
+    replicas = ReplicaSet(index, 2, mode="thread")
+    journal.attach_lag("replicas", replicas.lag)
+    rng = np.random.default_rng(args.seed)
+    with tempfile.TemporaryDirectory() as wal_dir:
+        durable = DurableIndex(index, wal_dir, background_checkpoints=False)
+        pool = [
+            dataset.profile(int(rng.integers(0, dataset.n_users)))
+            for _ in range(16)
+        ]
+        for step in range(args.ops):
+            engine.search_many([pool[int(rng.integers(0, len(pool)))]])
+            op = rng.random()
+            if op < 0.5:
+                user = int(rng.choice(index.dataset.active_users()))
+                index.add_items(user, [int(rng.integers(0, dataset.n_items))])
+            elif op < 0.8:
+                index.add_user(rng.integers(0, dataset.n_items, size=20))
+            else:
+                index.remove_user(int(rng.choice(index.dataset.active_users())))
+        durable.checkpoint()
+        journal.collect()
+        durable.close()
+    replicas.close()
+    engine.close()
+    journal.close()
+    registry = obs.metrics()
+    if args.format == "prometheus":
+        print(registry.to_prometheus())
+    elif args.format == "json":
+        print(registry.to_json())
+    else:
+        _print_metrics_dashboard(registry, obs.tracer())
     return 0
 
 
@@ -374,7 +479,24 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--restore", action="store_true",
                    help="recover the index from --wal-dir (snapshot + WAL tail "
                         "replay) instead of building it")
+    p.add_argument("--metrics", action="store_true",
+                   help="append the telemetry dashboard (metrics registry "
+                        "snapshot + slowest recent trace)")
     p.set_defaults(fn=_cmd_serve_demo)
+
+    p = sub.add_parser(
+        "metrics-dump",
+        help="exercise every serving layer on a small workload and dump "
+             "the unified metrics registry",
+    )
+    p.add_argument("--users", type=int, default=150)
+    p.add_argument("--ops", type=int, default=120,
+                   help="mixed query/mutation steps to drive")
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--format", default="table",
+                   choices=["table", "prometheus", "json"])
+    p.set_defaults(fn=_cmd_metrics_dump)
 
     return parser
 

@@ -43,9 +43,11 @@ from __future__ import annotations
 import pickle
 import threading
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
+from .. import obs
 from .._sync import RWLock
 from ..core.cluster_and_conquer import cluster_and_conquer
 from ..core.clustering import group_by_value
@@ -191,6 +193,12 @@ class OnlineIndex:
         self.lock = RWLock()  # mutations write, serving walks read
         self._listeners: list = []
         self._delta_listeners: list = []
+        # Payload of the most recent resplit event: listeners on the
+        # 3-arg subscribe channel (whose deltas are empty for a
+        # resplit) read the touched-cluster set from here — safe
+        # because listeners run synchronously under the write lock.
+        self.last_resplit: dict | None = None
+        self._bind_metrics()
         self._refiller = None  # lazily-built GraphSearcher (serve subsystem)
         self._reverse: ReverseAdjacency | None = None  # lazy, then maintained
         self._reverse_build_lock = threading.Lock()
@@ -274,22 +282,42 @@ class OnlineIndex:
     # Pickling (process-mode serving shards snapshot the index)
     # ------------------------------------------------------------------
 
+    def _bind_metrics(self, registry=None) -> None:
+        """Cache the per-op mutation latency histogram handles.
+
+        Bound at construction and re-bound (to the process-wide
+        registry) on unpickle — replica clones then record their
+        ``apply_delta`` latencies into the registry of whatever
+        process they serve in.
+        """
+        reg = registry if registry is not None else obs.metrics()
+        self._mut_hist = {
+            op: reg.histogram("index_mutation_seconds", op=op)
+            for op in (
+                "add_user", "add_items", "remove_user",
+                "refill", "rebuild", "apply_delta",
+            )
+        }
+
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         # Listeners are bound to front-end objects in the parent
-        # process, the refiller holds a back-reference, and locks are
-        # not picklable; a worker's snapshot starts detached.
+        # process, the refiller holds a back-reference, locks and
+        # metric handles (they hold locks too) are not picklable; a
+        # worker's snapshot starts detached.
         state["_listeners"] = []
         state["_delta_listeners"] = []
         state["_refiller"] = None
         state["lock"] = None
         state["_reverse_build_lock"] = None
+        state["_mut_hist"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self.lock = RWLock()
         self._reverse_build_lock = threading.Lock()
+        self._bind_metrics()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -464,6 +492,13 @@ class OnlineIndex:
         sequence gap or a ``rebuild`` event; callers resync from a
         fresh snapshot.
         """
+        t0 = perf_counter()
+        try:
+            return self._apply_delta(delta)
+        finally:
+            self._mut_hist["apply_delta"].observe(perf_counter() - t0)
+
+    def _apply_delta(self, delta: ReplicaDelta) -> bool:
         with self.lock.write():
             if delta.seq <= self.version:
                 return False
@@ -587,7 +622,7 @@ class OnlineIndex:
                     self._reverse = ReverseAdjacency.from_heaps(self.graph.heaps)
         return self._reverse
 
-    def seed_candidates(self, profile, per_config: int = 16) -> np.ndarray:
+    def seed_candidates(self, profile, per_config: int = 16, with_route: bool = False):
         """Entry points for a graph search on an arbitrary profile.
 
         Routes the profile through the recorded FastRandomHash
@@ -601,24 +636,37 @@ class OnlineIndex:
         dataset's universe are ignored — they carry no routing signal,
         and extending the hash tables to an arbitrary query id would
         permanently allocate O(max item id) memory on a read.
+
+        ``with_route=True`` returns ``(seeds, routed)`` where
+        ``routed`` is the tuple of destination cluster ids (one per
+        configuration that matched) — the provenance the result cache
+        needs for re-split-aware eviction: a re-split changes only
+        routing, so the cached answers it can invalidate are exactly
+        those whose query routed into a touched cluster.
         """
         profile = np.unique(np.asarray(profile, dtype=np.int64))
         profile = profile[profile < self._data.n_items]
         self._router.ensure_items(self._data.n_items)
         pools: list[np.ndarray] = []
+        routed: list[int] = []
         for config in range(self.n_configs):
             _, cid = self._router.route(config, profile)
             if cid < 0:
                 continue
+            routed.append(int(cid))
             members = self._members[cid]
             if len(members) > per_config:
                 step = len(members) // per_config
                 members = members[:: max(1, step)][:per_config]
             pools.append(np.asarray(members, dtype=np.int64))
         if not pools:
-            return np.empty(0, dtype=np.int64)
-        seeds = np.unique(np.concatenate(pools))
-        return seeds[self._data.active_mask()[seeds]]
+            seeds = np.empty(0, dtype=np.int64)
+        else:
+            seeds = np.unique(np.concatenate(pools))
+            seeds = seeds[self._data.active_mask()[seeds]]
+        if with_route:
+            return seeds, tuple(routed)
+        return seeds
 
     def refill(self, user: int) -> None:
         """Repair a neighbour list degraded by :meth:`remove_user`.
@@ -628,6 +676,13 @@ class OnlineIndex:
         — the counted cost lands in ``refill_comparisons``. No-op for
         rows that are not flagged degraded.
         """
+        t0 = perf_counter()
+        try:
+            self._refill(user)
+        finally:
+            self._mut_hist["refill"].observe(perf_counter() - t0)
+
+    def _refill(self, user: int) -> None:
         with self.lock.write():
             self._degraded.discard(user)
             if not self._data.is_active(user):
@@ -648,29 +703,47 @@ class OnlineIndex:
             self._notify("refill", user)
 
     def stats(self) -> dict:
-        """Operational counters for dashboards and tests."""
+        """Operational counters for dashboards and tests.
+
+        Keys follow the canonical cross-component vocabulary of
+        ``docs/observability.md`` (``mutations_total``, ``clusters``,
+        ``version``, …); the pre-unification spellings (``n_updates``,
+        ``n_clusters``, …) are kept as aliases for one release.
+        """
         sizes = np.array([len(m) for m in self._members], dtype=np.int64)
-        return {
+        canonical = {
+            "component": "online_index",
             "n_users": self.n_users,
             "n_active": int(self._data.active_users().size),
-            "n_updates": self.n_updates,
+            "mutations_total": self.n_updates,
             "update_comparisons": self.update_comparisons,
             "refill_comparisons": self.refill_comparisons,
             "build_comparisons": self.build_result.comparisons,
-            "n_clusters": int((sizes > 0).sum()),
+            "clusters": int((sizes > 0).sum()),
             "max_cluster_size": int(sizes.max()) if sizes.size else 0,
-            "n_oversized": (
+            "oversized": (
                 0
                 if self.params.split_threshold is None
                 else int((sizes > self.params.split_threshold).sum())
             ),
-            "n_resplits": self.n_resplits,
+            "resplits_total": self.n_resplits,
             "resplit_moved": self.resplit_moved,
-            "n_rebuilds": self.n_rebuilds,
-            "n_degraded": len(self._degraded),
+            "rebuilds_total": self.n_rebuilds,
+            "degraded": len(self._degraded),
             "reverse_built": self._reverse is not None,
             "version": self.version,
         }
+        return obs.alias_stats(
+            canonical,
+            {
+                "n_updates": "mutations_total",
+                "n_clusters": "clusters",
+                "n_oversized": "oversized",
+                "n_resplits": "resplits_total",
+                "n_rebuilds": "rebuilds_total",
+                "n_degraded": "degraded",
+            },
+        )
 
     # ------------------------------------------------------------------
     # Updates
@@ -678,6 +751,13 @@ class OnlineIndex:
 
     def add_user(self, items) -> int:
         """Insert a new user with the given profile; returns her id."""
+        t0 = perf_counter()
+        try:
+            return self._add_user(items)
+        finally:
+            self._mut_hist["add_user"].observe(perf_counter() - t0)
+
+    def _add_user(self, items) -> int:
         with self.lock.write():
             uid = self._data.add_user(items)
             self.engine.update_profile(uid, None)
@@ -696,6 +776,13 @@ class OnlineIndex:
         Returns the genuinely new item ids; a no-op update (all items
         already present) costs nothing.
         """
+        t0 = perf_counter()
+        try:
+            return self._add_items(user, items)
+        finally:
+            self._mut_hist["add_items"].observe(perf_counter() - t0)
+
+    def _add_items(self, user: int, items) -> np.ndarray:
         with self.lock.write():
             added = self._data.add_items(user, items)
             if added.size:
@@ -712,6 +799,13 @@ class OnlineIndex:
         actually holding ``user`` (read off the in-edge set) instead of
         column-scanning all n rows.
         """
+        t0 = perf_counter()
+        try:
+            self._remove_user(user)
+        finally:
+            self._mut_hist["remove_user"].observe(perf_counter() - t0)
+
+    def _remove_user(self, user: int) -> None:
         with self.lock.write():
             if not self._data.is_active(user):
                 return
@@ -742,6 +836,13 @@ class OnlineIndex:
         an off-peak tool, not a churn tax — the scenario benchmark's
         acceptance counts ``n_rebuilds`` to prove the tape needed none.
         """
+        t0 = perf_counter()
+        try:
+            return self._rebuild()
+        finally:
+            self._mut_hist["rebuild"].observe(perf_counter() - t0)
+
+    def _rebuild(self) -> BuildResult:
         with self.lock.write():
             build = cluster_and_conquer(self.engine, self.params, keep_clustering=True)
             self.build_result = build
@@ -841,6 +942,10 @@ class OnlineIndex:
             "members": [(int(c), list(self._members[c])) for c in sorted(touched)],
             "unsplittable": [int(c) for c in frozen],
         }
+        # Stashed before notify so 3-arg subscribe listeners (whose
+        # deltas are empty for a resplit) can read the touched-cluster
+        # set — the result caches evict selectively from it.
+        self.last_resplit = payload
         self._notify("resplit", -1, resplit=payload)
 
     # ------------------------------------------------------------------

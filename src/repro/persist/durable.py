@@ -39,6 +39,7 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from .. import obs
 from ..online.index import OnlineIndex
 from .snapshot import SnapshotStore
 from .wal import WALError, WriteAheadLog
@@ -129,6 +130,9 @@ class DurableIndex:
         segment_bytes: WAL segment rotation size.
         fsync: fsync every WAL append (see
             :class:`~repro.persist.WriteAheadLog`).
+        registry: :class:`~repro.obs.MetricsRegistry` for the
+            checkpoint timings and recovery gauges, shared with the
+            wrapped WAL (default: the process-wide registry).
 
     Raises:
         ValueError: the directory holds state for a different index
@@ -144,6 +148,7 @@ class DurableIndex:
         background_checkpoints: bool = True,
         segment_bytes: int = 8 << 20,
         fsync: bool = False,
+        registry=None,
         _wal: WriteAheadLog | None = None,
     ) -> None:
         self.index = index
@@ -153,8 +158,14 @@ class DurableIndex:
         self.segment_bytes = int(segment_bytes)
         self.fsync = bool(fsync)
         self.store = SnapshotStore(self.path)
+        reg = registry if registry is not None else obs.metrics()
+        self._c_checkpoints = reg.counter("durable_checkpoints_total")
+        self._h_checkpoint = reg.histogram("durable_checkpoint_seconds")
+        self._g_rec_seconds = reg.gauge("durable_recovery_seconds")
+        self._g_rec_replayed = reg.gauge("durable_recovery_replayed")
+        self._g_rec_rate = reg.gauge("durable_recovery_replay_rate")
         self.wal = _wal if _wal is not None else WriteAheadLog(
-            self.path, segment_bytes=segment_bytes, fsync=fsync
+            self.path, segment_bytes=segment_bytes, fsync=fsync, registry=reg
         )
         self.checkpoints = 0
         self.recovery: RecoveryInfo | None = None
@@ -234,10 +245,13 @@ class DurableIndex:
         """
         if self._closed:
             raise WALError("DurableIndex is closed")
+        t0 = time.perf_counter()
         seq = self._snapshot()
         self.wal.rotate()
         self.wal.compact(seq)
         self.checkpoints += 1
+        self._c_checkpoints.inc()
+        self._h_checkpoint.observe(time.perf_counter() - t0)
         return seq
 
     def _snapshot(self) -> int:
@@ -263,6 +277,7 @@ class DurableIndex:
         background_checkpoints: bool = True,
         segment_bytes: int = 8 << 20,
         fsync: bool = False,
+        registry=None,
     ) -> "DurableIndex":
         """Rebuild the index a dead process was serving; re-attach to it.
 
@@ -287,9 +302,15 @@ class DurableIndex:
             background_checkpoints=background_checkpoints,
             segment_bytes=segment_bytes,
             fsync=fsync,
+            registry=registry,
             _wal=wal,
         )
         durable.recovery = info
+        durable._g_rec_seconds.set(info.seconds)
+        durable._g_rec_replayed.set(info.replayed)
+        durable._g_rec_rate.set(
+            info.replayed / info.seconds if info.seconds > 0 else 0.0
+        )
         return durable
 
     def hydrate(self) -> OnlineIndex:
@@ -318,11 +339,17 @@ class DurableIndex:
     # ------------------------------------------------------------------
 
     def stats(self) -> dict:
-        """Operational counters for dashboards, benchmarks and tests."""
+        """Operational counters for dashboards, benchmarks and tests.
+
+        Extends the wrapped WAL's canonical stats (the WAL keys keep
+        their own aliases); ``checkpoints`` stays aliased to
+        ``checkpoints_total`` for one release.
+        """
         out = self.wal.stats()
         out.update(
+            component="durable_index",
             snapshot_seq=self.store.latest_seq(),
-            checkpoints=self.checkpoints,
+            checkpoints_total=self.checkpoints,
             version=self.index.version,
         )
         if self.recovery is not None:
@@ -331,7 +358,7 @@ class DurableIndex:
                 "replayed": self.recovery.replayed,
                 "seconds": round(self.recovery.seconds, 4),
             }
-        return out
+        return obs.alias_stats(out, {"checkpoints": "checkpoints_total"})
 
     def close(self) -> None:
         """Detach from the index, wait out checkpoints, release the log."""

@@ -42,6 +42,9 @@ import struct
 import threading
 import zlib
 from pathlib import Path
+from time import perf_counter
+
+from .. import obs
 
 __all__ = ["WALCorruptError", "WALError", "WriteAheadLog"]
 
@@ -156,6 +159,10 @@ class WriteAheadLog:
     tail is simply not replayed — and :meth:`append` refuses. This is
     the mode for reading a directory another process (or the same
     process's live log) is still appending to, e.g. replica hydration.
+
+    ``registry`` selects the :class:`~repro.obs.MetricsRegistry` for
+    the append/fsync latency histograms and the size gauges (default:
+    the process-wide registry).
     """
 
     def __init__(
@@ -165,12 +172,19 @@ class WriteAheadLog:
         segment_bytes: int = 8 << 20,
         fsync: bool = False,
         readonly: bool = False,
+        registry=None,
     ) -> None:
         self.path = Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
         self.segment_bytes = int(segment_bytes)
         self.fsync = bool(fsync)
         self.readonly = bool(readonly)
+        reg = registry if registry is not None else obs.metrics()
+        self._c_appends = reg.counter("wal_appends_total")
+        self._h_append = reg.histogram("wal_append_seconds")
+        self._h_fsync = reg.histogram("wal_fsync_seconds")
+        self._g_bytes = reg.gauge("wal_bytes")
+        self._g_segments = reg.gauge("wal_segments")
         self._lock = threading.RLock()
         self._fh = None
         self._closed = False
@@ -230,6 +244,7 @@ class WriteAheadLog:
     def append(self, seq: int, payload: bytes) -> None:
         """Frame, checksum and append one record; flushed before return."""
         seq = int(seq)
+        t0 = perf_counter()
         with self._lock:
             if self._closed:
                 raise WALError("log is closed")
@@ -247,11 +262,17 @@ class WriteAheadLog:
             self._fh.write(record)
             self._fh.flush()
             if self.fsync:
+                t_sync = perf_counter()
                 os.fsync(self._fh.fileno())
+                self._h_fsync.observe(perf_counter() - t_sync)
             self._active_bytes += len(record)
             self._live_bytes += len(record)
             self.last_seq = seq
             self.appended += 1
+            self._c_appends.inc()
+            self._g_bytes.set(self._live_bytes)
+            self._g_segments.set(len(self._segments))
+        self._h_append.observe(perf_counter() - t0)
 
     def _open_segment(self, first_seq: int) -> None:
         seg = self.path / f"{first_seq:020d}.wal"
@@ -364,12 +385,26 @@ class WriteAheadLog:
             return [seg for _, seg in self._segments]
 
     def stats(self) -> dict:
-        """Operational counters for dashboards and tests."""
+        """Operational counters for dashboards and tests.
+
+        Canonical keys per the shared vocabulary
+        (``docs/observability.md``); the legacy names remain as read
+        aliases for one release.
+        """
         with self._lock:
-            return {
-                "n_segments": len(self._segments),
-                "wal_bytes": self.size_bytes(),
+            canonical = {
+                "component": "wal",
+                "segments": len(self._segments),
+                "bytes": self.size_bytes(),
                 "last_seq": self.last_seq,
-                "appended": self.appended,
+                "appends_total": self.appended,
                 "tail_torn": self.tail_torn,
             }
+        return obs.alias_stats(
+            canonical,
+            {
+                "n_segments": "segments",
+                "wal_bytes": "bytes",
+                "appended": "appends_total",
+            },
+        )

@@ -27,10 +27,17 @@ into a service front end:
     the answer she should now appear in. Entries untouched by both
     rules may still go stale against *unrelated* graph drift until
     they expire from the LRU; ``"full"`` mode trades the hit rate
-    back for strictness. Global events (``user < 0``: ``rebuild``
-    and online ``resplit``) clear the whole cache even in partial
-    mode — a re-split reassigns many users' clusters at once, so
-    every cached answer's routing may have changed.
+    back for strictness. An online ``resplit`` evicts **by route**:
+    it moves no edges and no profiles, only cluster routing, so the
+    answers it can change are exactly those whose query routed into
+    a touched cluster — a cluster→cache-key postings map (fed from
+    :attr:`SearchResult.routed`) drops those and keeps the rest,
+    which is what keeps the cache warm across churn-driven
+    re-splits (the ``resplit_evictions_total`` /
+    ``cache_resplit_kept`` metrics record the trade). This eviction
+    is *exact*, not relaxed — surviving entries still equal a fresh
+    search (property-tested). A ``rebuild`` (also ``user == -1``)
+    still clears everything: it reassigns cluster ids wholesale.
   - ``"full"``: every mutation drops the whole cache and entries are
     version-stamped — the strict PR-2 contract that a cached answer
     always equals a fresh search against the current index state.
@@ -44,9 +51,11 @@ from __future__ import annotations
 import asyncio
 import threading
 from collections import OrderedDict
+from time import perf_counter
 
 import numpy as np
 
+from .. import obs
 from ..online.index import OnlineIndex
 from .searcher import GraphSearcher, SearchResult
 
@@ -71,6 +80,23 @@ def _signup_contacts(event: str, deltas) -> set[int] | None:
         contacts.add(int(u))
         contacts.add(int(v))
     return contacts
+
+
+def _resplit_clusters(index, event: str) -> list[int] | None:
+    """Touched-cluster ids of a ``resplit`` event (``None`` otherwise).
+
+    The 3-arg subscribe channel ships no payload for a re-split (its
+    edge deltas are empty — nothing structural moved), so the engines
+    read the touched set from the index's ``last_resplit`` stash,
+    which the mutation wrote just before notifying; listeners run
+    synchronously under the write lock, so the read is race-free.
+    """
+    if event != "resplit":
+        return None
+    info = getattr(index, "last_resplit", None)
+    if info is None:
+        return None  # defensive: fall back to the full clear
+    return [int(cid) for cid, _members in info["members"]]
 
 
 class AsyncSearchMixin:
@@ -124,22 +150,35 @@ class _ResultCache:
 
     Keyed by ``(canonical profile bytes, k)``. In ``"partial"`` mode a
     postings map ``user id -> {keys whose cached result contains it}``
-    lets a mutation evict exactly the answers it can have changed; in
-    ``"full"`` mode any mutation clears everything and lookups also
-    enforce the stored index version (belt and braces against a
-    detached hook). Thread-safe: the sharded front end serves lookups
-    from multiple workers.
+    lets a mutation evict exactly the answers it can have changed, and
+    a second postings map ``cluster id -> {keys whose query routed
+    through it}`` lets a re-split evict exactly the answers it can
+    have re-routed; in ``"full"`` mode any mutation clears everything
+    and lookups also enforce the stored index version (belt and braces
+    against a detached hook). Thread-safe: the sharded front end
+    serves lookups from multiple workers.
     """
 
-    def __init__(self, size: int, mode: str = "partial") -> None:
+    def __init__(
+        self, size: int, mode: str = "partial", registry=None, frontend: str = "engine"
+    ) -> None:
         if mode not in ("partial", "full"):
             raise ValueError("invalidation mode must be 'partial' or 'full'")
         self.size = int(size)
         self.mode = mode
         self.invalidations = 0
+        self.resplit_evictions = 0
+        self.resplit_kept = 0
         self._entries: OrderedDict[tuple, tuple[int, SearchResult]] = OrderedDict()
         self._postings: dict[int, set[tuple]] = {}
+        self._cluster_postings: dict[int, set[tuple]] = {}
         self._lock = threading.Lock()
+        reg = registry if registry is not None else obs.metrics()
+        self._c_evictions = reg.counter("cache_evictions_total", frontend=frontend)
+        self._c_resplit_evictions = reg.counter(
+            "cache_resplit_evictions_total", frontend=frontend
+        )
+        self._g_resplit_kept = reg.gauge("cache_resplit_kept", frontend=frontend)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -180,11 +219,13 @@ class _ResultCache:
             if self.mode == "partial":  # full mode never consults postings
                 for v in result.ids:
                     self._postings.setdefault(int(v), set()).add(key)
+                for cid in result.routed:
+                    self._cluster_postings.setdefault(int(cid), set()).add(key)
             while len(self._entries) > self.size:
                 self._drop(next(iter(self._entries)))
 
     def _drop(self, key: tuple) -> None:
-        """Remove one entry and unthread it from the postings map."""
+        """Remove one entry and unthread it from both postings maps."""
         entry = self._entries.pop(key, None)
         if entry is None or self.mode != "partial":
             return
@@ -194,43 +235,82 @@ class _ResultCache:
                 keys.discard(key)
                 if not keys:
                     del self._postings[int(v)]
+        for cid in entry[1].routed:
+            keys = self._cluster_postings.get(int(cid))
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._cluster_postings[int(cid)]
 
-    def on_mutation(self, event: str, user: int, touched=None) -> None:
+    def on_mutation(self, event: str, user: int, touched=None, clusters=None) -> None:
         """Invalidate for one index mutation (the subscribe hook body).
 
         ``touched`` optionally widens the eviction beyond the mutated
         user's own postings — the engines pass the signup-contact set
         from :func:`_signup_contacts` so a brand-new user evicts the
-        cached answers she should appear in.
+        cached answers she should appear in. ``clusters`` is the
+        touched-cluster set of a ``resplit`` event: a re-split changes
+        only routing, so partial mode evicts exactly the entries whose
+        query routed through a touched cluster and keeps everything
+        else warm (full mode, ``rebuild``, or a global event without
+        cluster info still clear everything).
         """
         with self._lock:
-            if self.mode == "full" or user < 0 or event == "rebuild":
-                # Full mode always clears; global events (rebuild,
-                # resplit — both carry user == -1) reassign clusters
+            if self.mode == "full" or event == "rebuild" or (
+                user < 0 and clusters is None
+            ):
+                # Full mode always clears; a rebuild (or a global
+                # event of unknown shape) reassigns cluster ids
                 # wholesale, so even partial mode has nothing to keep.
                 if self._entries:
                     self.invalidations += len(self._entries)
+                    self._c_evictions.inc(len(self._entries))
                     self._entries.clear()
                     self._postings.clear()
+                    self._cluster_postings.clear()
+                return
+            if user < 0:  # resplit with its touched-cluster set
+                victims: set[tuple] = set()
+                for cid in clusters:
+                    victims.update(self._cluster_postings.get(int(cid), ()))
+                for key in victims:
+                    self._drop(key)
+                dropped = len(victims)
+                self.invalidations += dropped
+                self.resplit_evictions += dropped
+                self.resplit_kept += len(self._entries)
+                self._c_evictions.inc(dropped)
+                self._c_resplit_evictions.inc(dropped)
+                self._g_resplit_kept.set(self.resplit_kept)
                 return
             victims = {user}
             if touched:
                 victims.update(touched)
+            dropped = 0
             for uid in victims:
                 for key in list(self._postings.get(uid, ())):
                     self._drop(key)
-                    self.invalidations += 1
+                    dropped += 1
+            self.invalidations += dropped
+            if dropped:
+                self._c_evictions.inc(dropped)
 
     def clear(self) -> None:
         """Drop every entry and its postings (not counted as eviction)."""
         with self._lock:
             self._entries.clear()
             self._postings.clear()
+            self._cluster_postings.clear()
 
     def postings_size(self) -> int:
-        """Total postings entries (tests bound the map's growth)."""
+        """Total user-postings entries (tests bound the map's growth)."""
         with self._lock:
             return sum(len(keys) for keys in self._postings.values())
+
+    def cluster_postings_size(self) -> int:
+        """Total cluster-postings entries (bounded alongside the above)."""
+        with self._lock:
+            return sum(len(keys) for keys in self._cluster_postings.values())
 
 
 class QueryEngine(AsyncSearchMixin):
@@ -247,6 +327,12 @@ class QueryEngine(AsyncSearchMixin):
             module docstring for the exact contracts.
         searcher: a configured :class:`GraphSearcher` to use (one with
             default parameters is built otherwise).
+        registry: :class:`~repro.obs.MetricsRegistry` for the cache
+            hit/miss/eviction and batch-latency metrics (default: the
+            process-wide registry).
+        tracer: :class:`~repro.obs.Tracer` wrapping each cache miss in
+            a ``query`` root span (children: the searcher's ``search``
+            tree and ``cache_store``).
     """
 
     def __init__(
@@ -257,16 +343,28 @@ class QueryEngine(AsyncSearchMixin):
         cache_size: int = 1024,
         invalidation: str = "partial",
         searcher: GraphSearcher | None = None,
+        registry=None,
+        tracer=None,
     ) -> None:
+        reg = registry if registry is not None else obs.metrics()
+        self.tracer = tracer if tracer is not None else obs.tracer()
         self.index = index
-        self.searcher = searcher or GraphSearcher(index)
+        self.searcher = searcher or GraphSearcher(
+            index, registry=registry, tracer=tracer
+        )
         self.default_k = int(k)
         self.cache_size = int(cache_size)
-        self._cache = _ResultCache(cache_size, mode=invalidation)
+        self._cache = _ResultCache(
+            cache_size, mode=invalidation, registry=reg, frontend="engine"
+        )
         self.n_queries = 0
         self.cache_hits = 0
         self.cache_misses = 0
         self.dedup_hits = 0
+        self._c_hits = reg.counter("cache_hits_total", frontend="engine")
+        self._c_misses = reg.counter("cache_misses_total", frontend="engine")
+        self._c_dedup = reg.counter("cache_dedup_total", frontend="engine")
+        self._h_batch = reg.histogram("serve_batch_seconds", frontend="engine")
         self._init_async()
         index.subscribe(self._on_mutation)
 
@@ -293,7 +391,12 @@ class QueryEngine(AsyncSearchMixin):
 
     def _on_mutation(self, event: str, user: int, deltas) -> None:
         """Index mutation hook → evict what the mutation can have changed."""
-        self._cache.on_mutation(event, user, touched=_signup_contacts(event, deltas))
+        self._cache.on_mutation(
+            event,
+            user,
+            touched=_signup_contacts(event, deltas),
+            clusters=_resplit_clusters(self.index, event),
+        )
 
     # ------------------------------------------------------------------
     # Sync entry points
@@ -311,6 +414,7 @@ class QueryEngine(AsyncSearchMixin):
         searched once) and evaluated through the :class:`GraphSearcher`.
         Results come back in request order.
         """
+        t_batch = perf_counter()
         k = int(k if k is not None else self.default_k)
         results: list[SearchResult | None] = [None] * len(profiles)
         canon: list[np.ndarray] = []
@@ -322,20 +426,28 @@ class QueryEngine(AsyncSearchMixin):
             hit = self._cache.get(key, self.index.version)
             if hit is not None:
                 self.cache_hits += 1
+                self._c_hits.inc()
                 results[pos] = hit
             else:
                 misses.setdefault(key, []).append(pos)
         self.n_queries += len(profiles)
         for key, positions in misses.items():
-            version = self.index.version
-            result = self.searcher.top_k(canon[positions[0]], k=k)
+            with self.tracer.span("query", k=k, dedup=len(positions)):
+                version = self.index.version
+                result = self.searcher.top_k(canon[positions[0]], k=k)
+                with self.tracer.span("cache_store"):
+                    self._cache.put(
+                        key, version, result, live_version=lambda: self.index.version
+                    )
             self.cache_misses += 1
-            self.dedup_hits += len(positions) - 1
-            self._cache.put(
-                key, version, result, live_version=lambda: self.index.version
-            )
+            self._c_misses.inc()
+            dedup = len(positions) - 1
+            if dedup:
+                self.dedup_hits += dedup
+                self._c_dedup.inc(dedup)
             for pos in positions:
                 results[pos] = result
+        self._h_batch.observe(perf_counter() - t_batch)
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
@@ -346,15 +458,37 @@ class QueryEngine(AsyncSearchMixin):
         return self._cache.invalidations
 
     def stats(self) -> dict:
-        """Operational counters for dashboards and tests."""
-        return {
-            "n_queries": self.n_queries,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "dedup_hits": self.dedup_hits,
-            "invalidations": self._cache.invalidations,
+        """Operational counters for dashboards and tests.
+
+        Canonical keys follow the shared serving-stats vocabulary
+        (``docs/observability.md``); the legacy per-component names are
+        kept as read aliases for one release via
+        :func:`repro.obs.alias_stats`.
+        """
+        canonical = {
+            "component": "query_engine",
+            "queries_total": self.n_queries,
+            "cache_hits_total": self.cache_hits,
+            "cache_misses_total": self.cache_misses,
+            "dedup_hits_total": self.dedup_hits,
+            "evictions_total": self._cache.invalidations,
+            "resplit_evictions_total": self._cache.resplit_evictions,
+            "resplit_kept": self._cache.resplit_kept,
             "invalidation_mode": self._cache.mode,
-            "cached_entries": len(self._cache),
+            "cache_entries": len(self._cache),
             "postings_entries": self._cache.postings_size(),
-            "index_version": self.index.version,
+            "cluster_postings_entries": self._cache.cluster_postings_size(),
+            "version": self.index.version,
         }
+        return obs.alias_stats(
+            canonical,
+            {
+                "n_queries": "queries_total",
+                "cache_hits": "cache_hits_total",
+                "cache_misses": "cache_misses_total",
+                "dedup_hits": "dedup_hits_total",
+                "invalidations": "evictions_total",
+                "cached_entries": "cache_entries",
+                "index_version": "version",
+            },
+        )

@@ -46,9 +46,11 @@ import pickle
 import threading
 import zlib
 from concurrent.futures import ProcessPoolExecutor
+from time import perf_counter
 
 import numpy as np
 
+from .. import obs
 from ..graph.heap import NeighborHeaps
 from ..online.index import OnlineIndex, ReplicaDelta
 from .searcher import GraphSearcher, SearchResult
@@ -117,6 +119,9 @@ class ReplicaSet:
             lost gap heals as a counted resync, exactly like a clone
             raced by a mutation). Resyncs always re-clone the primary:
             they must land on its *current* version.
+        registry: :class:`~repro.obs.MetricsRegistry` for the
+            ship/apply latency histograms, the shipped/resync counters
+            and the lag gauge (default: the process-wide registry).
     """
 
     def __init__(
@@ -127,6 +132,7 @@ class ReplicaSet:
         mode: str = "thread",
         searcher_kwargs: dict | None = None,
         hydrate=None,
+        registry=None,
     ) -> None:
         if n_replicas < 1:
             raise ValueError("n_replicas must be >= 1")
@@ -139,6 +145,12 @@ class ReplicaSet:
         self.hydrate = hydrate
         self.deltas_shipped = 0
         self.resyncs = 0
+        reg = registry if registry is not None else obs.metrics()
+        self._c_shipped = reg.counter("replica_deltas_shipped_total")
+        self._c_resyncs = reg.counter("replica_resyncs_total")
+        self._g_lag = reg.gauge("replica_lag")
+        self._h_ship = reg.histogram("replica_ship_seconds")
+        self._h_apply = reg.histogram("replica_apply_seconds")
         self._ship_lock = threading.Lock()
         self._revive_locks = [threading.Lock() for _ in range(self.n_replicas)]
         self._closed = False
@@ -190,11 +202,15 @@ class ReplicaSet:
 
     def _on_delta(self, delta: ReplicaDelta) -> None:
         """Primary mutation hook: converge (thread) or enqueue (process)."""
+        t_ship = perf_counter()
         self.deltas_shipped += 1
+        self._c_shipped.inc()
         if self.mode == "thread":
             for i in range(self.n_replicas):
+                t_apply = perf_counter()
                 try:
                     self._replicas[i].apply_delta(delta)
+                    self._h_apply.observe(perf_counter() - t_apply)
                 except Exception:
                     # A replica that cannot replay (sequence gap,
                     # rebuild, or any mid-replay failure) must never
@@ -204,6 +220,8 @@ class ReplicaSet:
                     # mutating thread, for which the write lock is
                     # read-reentrant.
                     self._resync_thread(i)
+            self._h_ship.observe(perf_counter() - t_ship)
+            self._g_lag.set(0)  # thread replicas converge synchronously
             return
         payload = pickle.dumps(delta)
         with self._ship_lock:
@@ -214,10 +232,13 @@ class ReplicaSet:
                     self._needs_resync[i] = True
                 else:
                     self._pending[i].append(payload)
+            self._g_lag.set(max((len(p) for p in self._pending), default=0))
+        self._h_ship.observe(perf_counter() - t_ship)
 
     def _resync_thread(self, i: int) -> None:
         """Replace thread replica ``i`` with a fresh snapshot clone."""
         self.resyncs += 1
+        self._c_resyncs.inc()
         replica = self.index.clone()
         self._replicas[i] = replica
         self._searchers[i] = GraphSearcher(replica, **self.searcher_kwargs)
@@ -247,6 +268,7 @@ class ReplicaSet:
                 self._pending[i].clear()
                 self._needs_resync[i] = False
                 self.resyncs += 1
+                self._c_resyncs.inc()
             if pool is not None:
                 pool.shutdown(wait=False, cancel_futures=True)
             payload = self.index.snapshot_bytes()  # no _ship_lock held
@@ -269,6 +291,9 @@ class ReplicaSet:
                 pool = self._pools[i]
                 if pool is not None and not self._needs_resync[i]:
                     payloads, self._pending[i] = self._pending[i], []
+                    self._g_lag.set(
+                        max((len(p) for p in self._pending), default=0)
+                    )
                     return pool.submit(fn, payloads, *args)
             self._revive(i)
 
@@ -347,13 +372,21 @@ class ReplicaSet:
 
     def lag(self) -> int:
         """Mutations shipped but not yet applied, worst replica."""
+        return max(self.per_replica_lag(), default=0)
+
+    def per_replica_lag(self) -> list[int]:
+        """Mutations shipped but not yet applied, one entry per replica.
+
+        Thread replicas measure version distance to the primary
+        (normally 0 — they converge inside the mutation); process
+        replicas count queued-but-undrained delta payloads.
+        """
         if self.mode == "thread":
-            return max(
-                (self.index.version - r.version for r in self._replicas),
-                default=0,
-            )
+            if not self._replicas:  # closed set: nothing left to lag
+                return [0] * self.n_replicas
+            return [self.index.version - r.version for r in self._replicas]
         with self._ship_lock:
-            return max((len(p) for p in self._pending), default=0)
+            return [len(p) for p in self._pending]
 
     def stats(self) -> dict:
         """Operational counters for dashboards, benchmarks and tests.
@@ -364,17 +397,25 @@ class ReplicaSet:
         :class:`SearchResult`\\ s — so the replicated read path reports
         one dashboard number in the same counted-similarity currency
         as builds and updates (the ROADMAP follow-up: replica walks
-        charge their clone's engine, not the primary's).
+        charge their clone's engine, not the primary's). Each
+        per-replica entry also carries its own ``lag``. Canonical keys
+        follow the shared vocabulary (``docs/observability.md``);
+        legacy names remain as read aliases for one release.
         """
+        lags = self.per_replica_lag()
         with self._serving_lock:
-            per_replica = [dict(counters) for counters in self._served]
-        return {
+            per_replica = [
+                dict(counters, lag=lags[i])
+                for i, counters in enumerate(self._served)
+            ]
+        canonical = {
+            "component": "replica_set",
             "n_replicas": self.n_replicas,
             "mode": self.mode,
-            "deltas_shipped": self.deltas_shipped,
-            "resyncs": self.resyncs,
-            "lag": self.lag(),
-            "primary_version": self.index.version,
+            "deltas_shipped_total": self.deltas_shipped,
+            "resyncs_total": self.resyncs,
+            "lag": max(lags, default=0),
+            "version": self.index.version,
             "serving": {
                 "queries": sum(c["queries"] for c in per_replica),
                 "evaluations": sum(c["evaluations"] for c in per_replica),
@@ -382,6 +423,14 @@ class ReplicaSet:
                 "per_replica": per_replica,
             },
         }
+        return obs.alias_stats(
+            canonical,
+            {
+                "deltas_shipped": "deltas_shipped_total",
+                "resyncs": "resyncs_total",
+                "primary_version": "version",
+            },
+        )
 
     def close(self) -> None:
         """Detach from the primary and release replica resources."""

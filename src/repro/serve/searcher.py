@@ -52,10 +52,12 @@ from __future__ import annotations
 
 import heapq
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
+from .. import obs
 from ..graph.heap import EMPTY
 from ..online.index import OnlineIndex
 from ..similarity.engine import SimilarityEngine
@@ -73,12 +75,19 @@ class SearchResult:
         scores: matching similarities (engine's metric).
         evaluations: similarity evaluations this query charged.
         hops: beam-search expansions performed (0 = seeds sufficed).
+        routed: cluster ids the query's seeds were routed through
+            (one per hashing configuration that matched). A re-split
+            changes *only* routing — no edges, no profiles — so a
+            cached result is affected by one iff its query routed into
+            a re-split cluster; the result cache keys its re-split
+            eviction on exactly this set.
     """
 
     ids: np.ndarray
     scores: np.ndarray
     evaluations: int
     hops: int
+    routed: tuple = field(default=())
 
     def __len__(self) -> int:
         return int(self.ids.size)
@@ -108,6 +117,11 @@ class GraphSearcher:
             similarities over raw profiles before truncating to ``k``
             (counted; recovers estimate-backend recall). ``None``
             returns engine scores untouched.
+        registry: :class:`~repro.obs.MetricsRegistry` for the stage
+            timing/hop/evaluation metrics (default: the process-wide
+            registry, see ``docs/observability.md`` for the catalog).
+        tracer: :class:`~repro.obs.Tracer` for per-query spans
+            (``search`` → ``route``/``seed``/``walk``/``rerank``).
     """
 
     def __init__(
@@ -120,6 +134,8 @@ class GraphSearcher:
         use_reverse_edges: bool = True,
         reverse: str = "incremental",
         rerank: str | None = None,
+        registry=None,
+        tracer=None,
     ) -> None:
         if ef < 1:
             raise ValueError("ef must be >= 1")
@@ -137,6 +153,17 @@ class GraphSearcher:
         self._rev_version = -1  # index.version the rebuild-mode copy matches
         self._rev_sources = np.empty(0, dtype=np.int64)
         self._rev_indptr = np.zeros(1, dtype=np.int64)
+        reg = registry if registry is not None else obs.metrics()
+        self.tracer = tracer if tracer is not None else obs.tracer()
+        self._m_queries = reg.counter("serve_queries_total")
+        self._h_query = reg.histogram("serve_query_seconds")
+        self._h_seed = reg.histogram("serve_seed_seconds")
+        self._h_walk = reg.histogram("serve_walk_seconds")
+        self._h_rerank = reg.histogram("serve_rerank_seconds")
+        self._h_hops = reg.histogram("serve_walk_hops", bounds=obs.COUNT_BUCKETS)
+        self._h_evals = reg.histogram(
+            "serve_walk_evaluations", bounds=obs.COUNT_BUCKETS
+        )
 
     @property
     def engine(self) -> SimilarityEngine:
@@ -174,11 +201,20 @@ class GraphSearcher:
         profile = np.unique(np.asarray(profile, dtype=np.int64))
         ef = max(int(ef or self.ef), int(k))
         budget = budget if budget is not None else self.budget
-        # Walks read shared graph state that mutations patch in place;
-        # the index's readers-writer lock keeps the two apart (many
-        # concurrent walks, mutations exclusive — see ShardedQueryEngine).
-        with self.index.lock.read():
-            return self._walk(profile, int(k), ef, budget, exclude, extra_seeds)
+        t0 = perf_counter()
+        with self.tracer.span("search", k=int(k), profile_size=int(profile.size)) as sp:
+            # Walks read shared graph state that mutations patch in
+            # place; the index's readers-writer lock keeps the two
+            # apart (many concurrent walks, mutations exclusive — see
+            # ShardedQueryEngine).
+            with self.index.lock.read():
+                result = self._walk(profile, int(k), ef, budget, exclude, extra_seeds)
+            sp.note(hops=result.hops, evaluations=result.evaluations)
+        self._m_queries.inc()
+        self._h_query.observe(perf_counter() - t0)
+        self._h_hops.observe(result.hops)
+        self._h_evals.observe(result.evaluations)
+        return result
 
     def _walk(self, profile, k, ef, budget, exclude, extra_seeds) -> SearchResult:
         engine = self.index.engine
@@ -188,17 +224,24 @@ class GraphSearcher:
         before = engine.comparisons
         query = engine.prepare_query(profile)
 
-        seeds = self._seeds(profile, ef, active, excluded, extra_seeds)
+        t_seed = perf_counter()
+        with self.tracer.span("route") as sp:
+            seeds, routed = self._seeds(profile, ef, active, excluded, extra_seeds)
+            sp.note(clusters=len(routed))
         if budget is not None and seeds.size > budget:
             seeds = seeds[:budget]
         if seeds.size == 0:
+            self._h_seed.observe(perf_counter() - t_seed)
             return SearchResult(
                 ids=np.empty(0, dtype=np.int64),
                 scores=np.empty(0, dtype=np.float64),
                 evaluations=0,
                 hops=0,
+                routed=routed,
             )
-        sims = engine.query_many(query, seeds)
+        with self.tracer.span("seed", n_seeds=int(seeds.size)):
+            sims = engine.query_many(query, seeds)
+        self._h_seed.observe(perf_counter() - t_seed)
 
         # Bounded best-seen set (min-heap, ties evict the larger id so
         # results are deterministic) and expansion frontier (max-heap).
@@ -214,32 +257,36 @@ class GraphSearcher:
         rev = self._reverse_source()
         hops = 0
         evals = int(seeds.size)
-        while frontier:
-            neg_score, node = heapq.heappop(frontier)
-            if len(result) >= ef and -neg_score < result[0][0]:
-                break  # the best remaining candidate cannot improve the set
-            fresh = [
-                int(v)
-                for v in self._adjacent(graph, node, rev)
-                if int(v) not in visited and active[v] and int(v) not in excluded
-            ]
-            if not fresh:
-                continue
-            if budget is not None and evals + len(fresh) > budget:
-                fresh = fresh[: budget - evals]
+        t_walk = perf_counter()
+        with self.tracer.span("walk") as walk_span:
+            while frontier:
+                neg_score, node = heapq.heappop(frontier)
+                if len(result) >= ef and -neg_score < result[0][0]:
+                    break  # the best remaining candidate cannot improve the set
+                fresh = [
+                    int(v)
+                    for v in self._adjacent(graph, node, rev)
+                    if int(v) not in visited and active[v] and int(v) not in excluded
+                ]
                 if not fresh:
-                    break
-            hops += 1
-            cands = np.asarray(fresh, dtype=np.int64)
-            sims = engine.query_many(query, cands)
-            evals += cands.size
-            visited.update(fresh)
-            for v, s in zip(fresh, sims):
-                if len(result) < ef or s > result[0][0]:
-                    heapq.heappush(frontier, (-float(s), int(v)))
-                    heapq.heappush(result, (float(s), -int(v)))
-                    if len(result) > ef:
-                        heapq.heappop(result)
+                    continue
+                if budget is not None and evals + len(fresh) > budget:
+                    fresh = fresh[: budget - evals]
+                    if not fresh:
+                        break
+                hops += 1
+                cands = np.asarray(fresh, dtype=np.int64)
+                sims = engine.query_many(query, cands)
+                evals += cands.size
+                visited.update(fresh)
+                for v, s in zip(fresh, sims):
+                    if len(result) < ef or s > result[0][0]:
+                        heapq.heappush(frontier, (-float(s), int(v)))
+                        heapq.heappush(result, (float(s), -int(v)))
+                        if len(result) > ef:
+                            heapq.heappop(result)
+            walk_span.note(hops=hops, evaluations=evals)
+        self._h_walk.observe(perf_counter() - t_walk)
 
         pool = sorted(((s, -neg_id) for s, neg_id in result), key=lambda t: (-t[0], t[1]))
         if self.rerank == "exact" and pool:
@@ -247,11 +294,14 @@ class GraphSearcher:
             # just the top k of the estimates — the candidates exact
             # scoring promotes into the top k are precisely the ones
             # estimate noise demoted out of it.
-            cands = np.array([v for _, v in pool], dtype=np.int64)
-            exact = self._exact_scores(profile, cands)
-            engine.charge(cands.size)
-            order = np.lexsort((cands, -exact))[:k]
-            ids, scores = cands[order], exact[order]
+            t_rerank = perf_counter()
+            with self.tracer.span("rerank", n_candidates=len(pool)):
+                cands = np.array([v for _, v in pool], dtype=np.int64)
+                exact = self._exact_scores(profile, cands)
+                engine.charge(cands.size)
+                order = np.lexsort((cands, -exact))[:k]
+                ids, scores = cands[order], exact[order]
+            self._h_rerank.observe(perf_counter() - t_rerank)
         else:
             best = pool[:k]
             ids = np.array([v for _, v in best], dtype=np.int64)
@@ -261,6 +311,7 @@ class GraphSearcher:
             scores=scores,
             evaluations=engine.comparisons - before,
             hops=hops,
+            routed=routed,
         )
 
     # ------------------------------------------------------------------
@@ -342,15 +393,22 @@ class GraphSearcher:
         active: np.ndarray,
         excluded: set[int],
         extra_seeds,
-    ) -> np.ndarray:
+    ) -> tuple[np.ndarray, tuple]:
         """Entry points: routed cluster peers + caller seeds + top-up.
 
-        The top-up draws deterministically-seeded random active users
-        when routing finds fewer than ``ef`` entry points (a profile of
-        never-seen items misses every recorded lineage); without it the
-        walk would have nowhere to start.
+        Returns ``(seeds, routed)`` where ``routed`` is the cluster-id
+        tuple routing matched (recorded on the
+        :class:`SearchResult` so the result cache can evict exactly
+        the answers a re-split re-routes). The top-up draws
+        deterministically-seeded random active users when routing
+        finds fewer than ``ef`` entry points (a profile of never-seen
+        items misses every recorded lineage); without it the walk
+        would have nowhere to start.
         """
-        pools = [self.index.seed_candidates(profile, per_config=self.per_config)]
+        routed_seeds, routed = self.index.seed_candidates(
+            profile, per_config=self.per_config, with_route=True
+        )
+        pools = [routed_seeds]
         if extra_seeds is not None:
             extra = np.asarray(extra_seeds, dtype=np.int64)
             if extra.size:
@@ -370,7 +428,7 @@ class GraphSearcher:
                 )
                 extra = rng.choice(pool, size=want, replace=False)
                 seeds = np.unique(np.concatenate([seeds, extra]))
-        return seeds.astype(np.int64)
+        return seeds.astype(np.int64), routed
 
 
 def brute_force_top_k(

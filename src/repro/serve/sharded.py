@@ -46,11 +46,13 @@ import threading
 import zlib
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from time import perf_counter
 
 import numpy as np
 
+from .. import obs
 from ..online.index import OnlineIndex
-from .engine import AsyncSearchMixin, _ResultCache, _signup_contacts
+from .engine import AsyncSearchMixin, _ResultCache, _resplit_clusters, _signup_contacts
 from .replica import ReplicaSet
 from .searcher import GraphSearcher, SearchResult
 
@@ -101,6 +103,12 @@ class ShardedQueryEngine(AsyncSearchMixin):
             initial replicas from persisted state (e.g.
             :meth:`repro.persist.DurableIndex.hydrate`) instead of
             cloning the live primary. Requires ``replicas=True``.
+        registry: :class:`~repro.obs.MetricsRegistry` for the cache
+            and batch metrics, labelled ``frontend="sharded"``
+            (default: the process-wide registry).
+        tracer: :class:`~repro.obs.Tracer` forwarded to the per-shard
+            searchers (worker threads record their own ``search``
+            root spans).
     """
 
     def __init__(
@@ -116,6 +124,8 @@ class ShardedQueryEngine(AsyncSearchMixin):
         routing: str | None = None,
         searcher_kwargs: dict | None = None,
         hydrate=None,
+        registry=None,
+        tracer=None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -141,12 +151,20 @@ class ShardedQueryEngine(AsyncSearchMixin):
         self.replicas = bool(replicas)
         self.routing = routing
         self.searcher_kwargs = dict(searcher_kwargs or {})
-        self._cache = _ResultCache(cache_size, mode=invalidation)
+        reg = registry if registry is not None else obs.metrics()
+        self.tracer = tracer if tracer is not None else obs.tracer()
+        self._cache = _ResultCache(
+            cache_size, mode=invalidation, registry=reg, frontend="sharded"
+        )
         self._stats_lock = threading.Lock()
         self.n_queries = 0
         self.cache_hits = 0
         self.cache_misses = 0
         self.dedup_hits = 0
+        self._c_hits = reg.counter("cache_hits_total", frontend="sharded")
+        self._c_misses = reg.counter("cache_misses_total", frontend="sharded")
+        self._c_dedup = reg.counter("cache_dedup_total", frontend="sharded")
+        self._h_batch = reg.histogram("serve_batch_seconds", frontend="sharded")
         self._pool_lock = threading.Lock()
         self._stale = True  # process pool not yet forked
         self.reforks = 0  # legacy process-snapshot pool re-creations
@@ -162,6 +180,7 @@ class ShardedQueryEngine(AsyncSearchMixin):
                 mode=executor,
                 searcher_kwargs=self.searcher_kwargs,
                 hydrate=hydrate,
+                registry=reg,
             )
             self._searchers = []
             self._shard_locks = []
@@ -173,7 +192,9 @@ class ShardedQueryEngine(AsyncSearchMixin):
             )
         elif executor == "thread":
             self._searchers = [
-                GraphSearcher(index, **self.searcher_kwargs)
+                GraphSearcher(
+                    index, registry=registry, tracer=tracer, **self.searcher_kwargs
+                )
                 for _ in range(self.n_shards)
             ]
             # Rebuild-mode searchers mutate private CSR state; a
@@ -197,7 +218,12 @@ class ShardedQueryEngine(AsyncSearchMixin):
         return self._replica_set
 
     def _on_mutation(self, event: str, user: int, deltas) -> None:
-        self._cache.on_mutation(event, user, touched=_signup_contacts(event, deltas))
+        self._cache.on_mutation(
+            event,
+            user,
+            touched=_signup_contacts(event, deltas),
+            clusters=_resplit_clusters(self.index, event),
+        )
         if self.executor == "process" and not self.replicas:
             self._stale = True  # workers hold a pre-mutation snapshot
 
@@ -276,6 +302,7 @@ class ShardedQueryEngine(AsyncSearchMixin):
         counters take their own locks and every walk runs under the
         index's read lock.
         """
+        t_batch = perf_counter()
         k = int(k if k is not None else self.default_k)
         results: list[SearchResult | None] = [None] * len(profiles)
         canon: list[np.ndarray] = []
@@ -347,11 +374,19 @@ class ShardedQueryEngine(AsyncSearchMixin):
                 for pos in positions:
                     results[pos] = answered[key]
 
+        dedup = sum(len(p) - 1 for p in misses.values())
         with self._stats_lock:
             self.n_queries += len(profiles)
             self.cache_hits += hits
             self.cache_misses += len(misses)
-            self.dedup_hits += sum(len(p) - 1 for p in misses.values())
+            self.dedup_hits += dedup
+        if hits:
+            self._c_hits.inc(hits)
+        if misses:
+            self._c_misses.inc(len(misses))
+        if dedup:
+            self._c_dedup.inc(dedup)
+        self._h_batch.observe(perf_counter() - t_batch)
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
@@ -373,29 +408,51 @@ class ShardedQueryEngine(AsyncSearchMixin):
                 self._pool = None
 
     def stats(self) -> dict:
-        """Operational counters for dashboards and tests."""
+        """Operational counters for dashboards and tests.
+
+        Same canonical vocabulary as :meth:`QueryEngine.stats` (see
+        ``docs/observability.md``); legacy keys remain as read aliases
+        for one release.
+        """
         with self._stats_lock:
-            out = {
-                "n_queries": self.n_queries,
-                "cache_hits": self.cache_hits,
-                "cache_misses": self.cache_misses,
-                "dedup_hits": self.dedup_hits,
-                "invalidations": self._cache.invalidations,
+            canonical = {
+                "component": "sharded_query_engine",
+                "queries_total": self.n_queries,
+                "cache_hits_total": self.cache_hits,
+                "cache_misses_total": self.cache_misses,
+                "dedup_hits_total": self.dedup_hits,
+                "evictions_total": self._cache.invalidations,
+                "resplit_evictions_total": self._cache.resplit_evictions,
+                "resplit_kept": self._cache.resplit_kept,
                 "invalidation_mode": self._cache.mode,
-                "cached_entries": len(self._cache),
+                "cache_entries": len(self._cache),
                 "n_shards": self.n_shards,
                 "executor": self.executor,
                 "routing": self.routing,
-                "reforks": self.reforks,
-                "index_version": self.index.version,
+                "reforks_total": self.reforks,
+                "version": self.index.version,
             }
         if self._replica_set is not None:
             replica = self._replica_set.stats()
-            out.update(
+            canonical.update(
                 replica_mode=replica["mode"],
-                deltas_shipped=replica["deltas_shipped"],
-                resyncs=replica["resyncs"],
+                deltas_shipped_total=replica["deltas_shipped_total"],
+                resyncs_total=replica["resyncs_total"],
                 replica_lag=replica["lag"],
                 replica_serving=replica["serving"],
             )
-        return out
+        aliases = {
+            "n_queries": "queries_total",
+            "cache_hits": "cache_hits_total",
+            "cache_misses": "cache_misses_total",
+            "dedup_hits": "dedup_hits_total",
+            "invalidations": "evictions_total",
+            "cached_entries": "cache_entries",
+            "reforks": "reforks_total",
+            "index_version": "version",
+        }
+        if self._replica_set is not None:
+            aliases.update(
+                deltas_shipped="deltas_shipped_total", resyncs="resyncs_total"
+            )
+        return obs.alias_stats(canonical, aliases)

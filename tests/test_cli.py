@@ -81,6 +81,45 @@ class TestRecallCommand:
         assert "Delta" in out
 
 
+class TestMetricsDumpCommand:
+    def test_table_reports_every_layer(self, capsys):
+        code = main(["metrics-dump", "--users", "80", "--ops", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        # One metric per instrumented layer proves the whole stack
+        # published into the shared registry.
+        for needle in (
+            "index_mutation_seconds",  # online index
+            "serve_query_seconds",     # searcher
+            "cache_hits_total",        # query engine
+            "replica_deltas_shipped_total",  # replica set
+            "wal_appends_total",       # WAL
+            "journal_mutations_total",  # journal exporter
+        ):
+            assert needle in out, needle
+
+    def test_prometheus_format(self, capsys):
+        code = main(
+            ["metrics-dump", "--users", "80", "--ops", "20",
+             "--format", "prometheus"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE serve_query_seconds histogram" in out
+        assert 'le="+Inf"' in out
+
+    def test_json_format(self, capsys):
+        import json
+
+        code = main(
+            ["metrics-dump", "--users", "80", "--ops", "20",
+             "--format", "json"]
+        )
+        assert code == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["histograms"]["serve_query_seconds"]["count"] > 0
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

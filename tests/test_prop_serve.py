@@ -101,12 +101,14 @@ def test_served_results_only_contain_active_users(seed):
 def test_partial_cache_sound_across_online_resplits(seed):
     """Partial invalidation survives re-splits without staleness.
 
-    A re-split reassigns many users' clusters in one event, so the
-    partial mode treats it as a global invalidation (``user == -1``
-    clears everything). The tape here churns a low-threshold index
-    hard enough that re-splits genuinely fire mid-stream, and every
-    served answer — cached or not — must still equal a fresh uncached
-    search against the current index state.
+    A re-split moves no edges and no profiles — it only re-routes a
+    cluster lineage — so the partial mode evicts exactly the cached
+    answers that routed through the split clusters (tracked via
+    ``SearchResult.routed``) and keeps the rest warm. The tape here
+    churns a low-threshold index hard enough that re-splits genuinely
+    fire mid-stream, and every served answer — cached, kept across a
+    re-split, or fresh — must still equal an uncached search against
+    the current index state.
     """
     from repro.bench.scenarios import IndexWorld, make_scenario
 
@@ -133,7 +135,13 @@ def test_partial_cache_sound_across_online_resplits(seed):
             )
             assert np.array_equal(served.ids, fresh.ids)
             assert served.scores == pytest.approx(fresh.scores)
+        stats = queries.stats()
     finally:
         queries.close()
     # The property is vacuous unless the tape actually re-split.
     assert index.stats()["n_resplits"] > 0
+    # And the selective eviction must have done real work: at least one
+    # re-split found a warm cache and kept entries outside the split
+    # lineage alive (otherwise this is just the full clear in disguise).
+    assert stats["resplit_evictions_total"] + stats["resplit_kept"] > 0
+    assert stats["resplit_kept"] > 0
