@@ -121,7 +121,7 @@ def main() -> None:
     #    the split cluster lineage, the rest stay warm.
     stats = engine.stats()
     show("re-split-aware cache invalidation", [
-        ("re-splits on the tape", index.stats()["n_resplits"]),
+        ("re-splits on the tape", index.stats()["resplits_total"]),
         ("entries evicted (split lineage)", stats["resplit_evictions_total"]),
         ("entries kept warm (last re-split)", stats["resplit_kept"]),
     ])

@@ -47,7 +47,7 @@ def main() -> None:
           f"{int((index.graph.heaps.ids == 0).sum())}")
 
     stats = index.stats()
-    print(f"  {stats['n_updates']} updates cost "
+    print(f"  {stats['mutations_total']} updates cost "
           f"{stats['update_comparisons']:,} similarities "
           f"({stats['update_comparisons'] / stats['build_comparisons']:.1%} "
           "of one build)")

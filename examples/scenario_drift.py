@@ -88,9 +88,9 @@ def main() -> None:
         print(
             f"{label}: worst window {tracker.worst:.3f}, "
             f"final {tracker.final:.3f}, "
-            f"{stats['n_resplits']} re-splits, "
+            f"{stats['resplits_total']} re-splits, "
             f"max cluster {stats['max_cluster_size']} "
-            f"(threshold {THRESHOLD}), {stats['n_rebuilds']} rebuilds"
+            f"(threshold {THRESHOLD}), {stats['rebuilds_total']} rebuilds"
         )
     print()
     print(format_table(rows, title="windowed recall drift (viral-bundle churn)"))

@@ -59,15 +59,15 @@ def main() -> None:
     asyncio.run(burst())
     stats = queries.stats()
     print(
-        f"  32 async queries -> {stats['cache_misses']} search(es), "
-        f"{stats['dedup_hits']} dedup hit(s), {stats['cache_hits']} cache hit(s)"
+        f"  32 async queries -> {stats['cache_misses_total']} search(es), "
+        f"{stats['dedup_hits_total']} dedup hit(s), {stats['cache_hits_total']} cache hit(s)"
     )
 
     # 4. Mutations invalidate cached answers — a cached result is never
     #    served across an index update.
     index.add_items(3, [int(dataset.n_items - 1)])
     queries.search(visitor)
-    print(f"  after an update: {queries.stats()['invalidations']} entries invalidated")
+    print(f"  after an update: {queries.stats()['evictions_total']} entries invalidated")
 
     # 5. Neighbours -> items: the CF scoring core applied to a served
     #    answer recommends for profiles that belong to no indexed user.

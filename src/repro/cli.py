@@ -140,7 +140,7 @@ def _cmd_update_demo(args) -> int:
 
     rebuild = cluster_and_conquer(make_engine(index.dataset.snapshot()), params)
     stats = index.stats()
-    per_update = stats["update_comparisons"] / max(1, stats["n_updates"])
+    per_update = stats["update_comparisons"] / max(1, stats["mutations_total"])
     print(
         format_table(
             [
@@ -156,7 +156,7 @@ def _cmd_update_demo(args) -> int:
                 },
             ],
             title=(
-                f"{stats['n_updates']} mixed updates on {dataset.name} "
+                f"{stats['mutations_total']} mixed updates on {dataset.name} "
                 f"({stats['n_active']} active users) — "
                 f"{stats['update_comparisons'] / rebuild.comparisons:.1%} "
                 "of one rebuild"
@@ -284,7 +284,7 @@ def _cmd_serve_demo(args) -> int:
                     f"Recall@{args.topk}": f"{np.mean(recalls):.3f}",
                     "Evals/query": f"{np.mean(evals):.0f}",
                     "vs brute force": f"{np.mean(evals) / n_active:.1%}",
-                    "Cache hits": f"{stats['cache_hits']}/{stats['n_queries']}",
+                    "Cache hits": f"{stats['cache_hits_total']}/{stats['queries_total']}",
                 }
             ],
             title=(
@@ -319,8 +319,8 @@ def _cmd_serve_demo(args) -> int:
             format_table(
                 rows,
                 title=(
-                    f"replica tier dashboard ({stats['deltas_shipped']} deltas "
-                    f"shipped, {stats['resyncs']} resyncs, "
+                    f"replica tier dashboard ({stats['deltas_shipped_total']} deltas "
+                    f"shipped, {stats['resyncs_total']} resyncs, "
                     f"lag {stats['replica_lag']})"
                 ),
             )
@@ -331,11 +331,11 @@ def _cmd_serve_demo(args) -> int:
             format_table(
                 [
                     {
-                        "WAL records": pstats["appended"],
-                        "WAL bytes": pstats["wal_bytes"],
-                        "Segments": pstats["n_segments"],
+                        "WAL records": pstats["appends_total"],
+                        "WAL bytes": pstats["bytes"],
+                        "Segments": pstats["segments"],
                         "Snapshot seq": pstats["snapshot_seq"],
-                        "Checkpoints": pstats["checkpoints"],
+                        "Checkpoints": pstats["checkpoints_total"],
                         "Version": pstats["version"],
                     }
                 ],
@@ -377,6 +377,9 @@ def _cmd_metrics_dump(args) -> int:
     rng = np.random.default_rng(args.seed)
     with tempfile.TemporaryDirectory() as wal_dir:
         durable = DurableIndex(index, wal_dir, background_checkpoints=False)
+        # WAL consumer lag rides the same journal_lag gauge family as
+        # the replica tier — the dump shows every consumer's cursor.
+        journal.attach_lag("wal", durable.lag)
         pool = [
             dataset.profile(int(rng.integers(0, dataset.n_users)))
             for _ in range(16)

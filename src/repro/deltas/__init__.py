@@ -1,0 +1,56 @@
+"""Declarative delta pipeline: derived collections over the mutation journal.
+
+The paper's C²-graph stays cheap to maintain online because every
+mutation describes itself as a journaled delta — and by PR 7 the repo
+had six independent consumers of that journal (reverse-adjacency
+maintenance, result-cache invalidation in both query engines, replica
+shipping, the durable WAL, and the journal metrics view), each with its
+own hand-rolled subscribe / replay / seq-cursor / resync logic. This
+package unifies them behind one derived-collection abstraction, after
+the krt framework's "collections derived from collections via
+transformation functions, with the framework owning state and change
+propagation":
+
+* :class:`Delta` — one journal event, self-describing: seq, event
+  kind, mutated user, per-edge structural changes, profile payload,
+  re-split routing payload, and (when some consumer asked for it) the
+  scored shippable :class:`~repro.online.ReplicaDelta`.
+* :class:`DeltaBus` — owns the stream. The index publishes exactly one
+  :class:`Delta` per mutation, seq-stamped monotonically; the bus
+  delivers it to every registered view in priority order, keeps each
+  view's cursor, reports per-view lag, and counts resyncs.
+* :class:`DerivedView` — the contract every consumer half-implemented
+  before: ``apply(delta)`` (the transformation function), a persisted
+  ``seq`` cursor, a ``resync()`` recipe (rebuild the derived state
+  from the source of truth — the answer to any event deltas cannot
+  express), and ``snapshot()``/``hydrate()`` hooks for shipping the
+  derived state across processes.
+* :class:`AntiEntropy` — the first consumer built *on top of* the
+  abstraction instead of before it: a view that periodically compares
+  replica edge digests against the primary oracle and auto-resyncs any
+  replica that silently diverged.
+
+Registration is ``index.deltas.register(view)``; the pre-pipeline
+entry points ``OnlineIndex.subscribe`` / ``subscribe_deltas`` survive
+as one-release deprecation shims that wrap the callback in a
+:class:`CallbackView` / :class:`ReplicaDeltaView`.
+
+See ``docs/architecture.md`` ("The life of a delta") for the end-to-end
+walkthrough and ``examples/derived_views.py`` for building a custom
+view (a toy item→users secondary index).
+"""
+
+from __future__ import annotations
+
+from .antientropy import AntiEntropy
+from .bus import Delta, DeltaBus
+from .view import CallbackView, DerivedView, ReplicaDeltaView
+
+__all__ = [
+    "AntiEntropy",
+    "CallbackView",
+    "Delta",
+    "DeltaBus",
+    "DerivedView",
+    "ReplicaDeltaView",
+]

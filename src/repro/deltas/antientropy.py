@@ -1,0 +1,104 @@
+"""Anti-entropy: a trailing auditor view that detects and repairs drift.
+
+Delta shipping keeps replicas convergent *if nothing is lost* — the
+seq guard in :meth:`~repro.online.OnlineIndex.apply_delta` catches
+gaps, but a replica corrupted in place (a bad pickle round-trip, a
+bit-flipped snapshot, an operator poking at worker state) holds the
+*right version* with the *wrong edges*, which no seq check can see.
+PR 5 left this as a follow-up; the delta pipeline makes it a
+15-minute consumer: :class:`AntiEntropy` is a :class:`DerivedView`
+that rides the same bus as the shipping it audits, periodically
+compares every replica's :func:`~repro.graph.heap.edge_digest`
+against the primary oracle, and resyncs any replica whose digest
+diverged at a matching version.
+
+It runs at priority 90 — after every sibling view has applied the
+same delta — so in thread mode a check observes fully-shipped
+replicas and a clean run really means convergence.
+"""
+
+from __future__ import annotations
+
+from .view import DerivedView
+
+__all__ = ["AntiEntropy"]
+
+
+class AntiEntropy(DerivedView):
+    """Audit replica edge digests against the primary; resync on drift.
+
+    Args:
+        index: the primary :class:`~repro.online.OnlineIndex` (the
+            oracle — its live heap table is digested at check time).
+        replicas: the audited :class:`~repro.serve.ReplicaSet` (any
+            object with ``replica_states() -> list[(version, digest)]``
+            and ``resync_replica(i)``).
+        every: run a check each ``every`` published deltas (default 64;
+            ``check()`` can also be called directly, e.g. from a cron).
+
+    A replica is *diverged* when it reports the primary's version with
+    a different digest — same journal prefix, different edges, which
+    incremental shipping can never repair. A replica still catching up
+    (older version) is merely *lagging* and is left to the transport.
+    Divergence triggers ``replicas.resync_replica(i)`` and is counted;
+    ``stats()`` feeds the serving dashboards.
+    """
+
+    name = "anti_entropy"
+    priority = 90
+
+    def __init__(self, index, replicas, every: int = 64) -> None:
+        super().__init__()
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self._index = index
+        self._replicas = replicas
+        self.every = int(every)
+        self._since_check = 0
+        self.checks_total = 0
+        self.divergences_total = 0
+        self.repairs_total = 0
+
+    def apply(self, delta) -> None:
+        """Count down to the next audit; run it every ``every`` deltas."""
+        self._since_check += 1
+        if self._since_check >= self.every:
+            self.check()
+
+    def check(self) -> int:
+        """Audit every replica now; returns how many were repaired.
+
+        Digests the primary's heap table (safe from inside ``apply``:
+        the index's write lock is reentrant for its holder, and reads
+        outside the bus take no lock the digest needs), asks the
+        replica tier for its ``(version, digest)`` pairs, and resyncs
+        every replica whose version matches but digest does not.
+        """
+        self._since_check = 0
+        self.checks_total += 1
+        from ..graph.heap import edge_digest
+
+        want = (int(self._index.version), edge_digest(self._index.graph.heaps))
+        repaired = 0
+        for i, got in enumerate(self._replicas.replica_states()):
+            if got[0] == want[0] and got[1] != want[1]:
+                self.divergences_total += 1
+                self._replicas.resync_replica(i)
+                repaired += 1
+                self.repairs_total += 1
+        return repaired
+
+    def resync(self) -> None:
+        """The auditor's own resync recipe is simply a full check."""
+        self.check()
+
+    def stats(self) -> dict:
+        """Operational counters for dashboards and tests."""
+        return {
+            "component": "anti_entropy",
+            "seq": self.seq,
+            "every": self.every,
+            "checks_total": self.checks_total,
+            "divergences_total": self.divergences_total,
+            "repairs_total": self.repairs_total,
+        }

@@ -1,0 +1,183 @@
+"""DerivedView — the consumer contract of the declarative pipeline.
+
+A derived view is a collection maintained *from* the mutation journal
+rather than recomputed from the index: the reverse-adjacency in-edge
+sets, a result cache's validity, a replica's entire state, the WAL's
+on-disk suffix, a metrics rollup, a secondary index. Before this
+package each of those re-implemented the same four-part shape by hand;
+:class:`DerivedView` names the shape once:
+
+* ``apply(delta)`` — the transformation function: fold one journal
+  event into the derived state. O(|delta|), runs inside the mutation.
+* ``seq`` — the persisted cursor: the last journal seq reflected in
+  the derived state. The bus advances it after every successful apply;
+  ``lag`` is the distance to the stream's high-water mark.
+* ``resync()`` — the recipe for rebuilding the derived state from the
+  source of truth. This is the answer to everything deltas cannot
+  express: a ``rebuild`` event, a detected divergence, a gap after
+  detachment. :class:`~repro.obs.JournalMetrics` was the first
+  consumer written explicitly in this shape and is the template.
+* ``snapshot()`` / ``hydrate()`` — optional hooks for shipping the
+  derived state across processes (a view whose resync is expensive can
+  be checkpointed and restored instead of rebuilt).
+
+The two ``Callback*`` views wrap the pre-pipeline ``subscribe`` /
+``subscribe_deltas`` callbacks so the deprecated entry points keep
+working for one release.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CallbackView", "DerivedView", "ReplicaDeltaView"]
+
+
+class DerivedView:
+    """Base class for one derived collection over the delta stream.
+
+    Args:
+        name: view name for lag reporting and dashboards (defaults to
+            the class-level :attr:`name`, then the class name).
+
+    Class attributes subclasses tune:
+
+    * ``needs_scored`` — declare ``True`` to receive the scored
+      shippable :class:`~repro.online.ReplicaDelta` (profile payloads,
+      routing changes, edge scores) on ``delta.replica``. Export work
+      is only spent while some registered view asks for it.
+    * ``priority`` — delivery order (lower runs earlier; default 10).
+      Reserved bands: 0 for state other views may read back out of the
+      index (reverse adjacency), 90 for trailing auditors
+      (:class:`~repro.deltas.AntiEntropy`).
+    """
+
+    name: str = ""
+    needs_scored: bool = False
+    priority: int = 10
+
+    def __init__(self, name: str | None = None) -> None:
+        if name is not None:
+            self.name = str(name)
+        elif not self.name:
+            self.name = type(self).__name__
+        self.seq = -1
+        self.applied_total = 0
+        self.resyncs_total = 0
+        self._bus = None
+
+    # ------------------------------------------------------------------
+    # The contract
+    # ------------------------------------------------------------------
+
+    def apply(self, delta) -> None:
+        """Fold one journal event into the derived state (transform)."""
+        raise NotImplementedError
+
+    def resync(self) -> None:
+        """Rebuild the derived state from the source of truth.
+
+        Called (via :meth:`DeltaBus.resync`, which also fast-forwards
+        the cursor and counts the repair) whenever the incremental path
+        cannot express what happened — a ``rebuild``, a divergence, a
+        missed gap. Subclasses with derived state must implement it;
+        the default raises so a consumer cannot silently skip the
+        recipe.
+        """
+        raise NotImplementedError
+
+    def snapshot(self):
+        """Opaque picklable snapshot of the derived state (or ``None``).
+
+        Optional hook: a view whose :meth:`resync` is expensive can be
+        checkpointed with ``(view.snapshot(), view.seq)`` and restored
+        elsewhere with :meth:`hydrate` — the same economics as the
+        index's own snapshot + WAL-tail recovery.
+        """
+        return None
+
+    def hydrate(self, state, seq: int) -> None:
+        """Restore the derived state from a :meth:`snapshot` payload.
+
+        Sets the cursor to ``seq`` (the seq the snapshot was taken at);
+        the next deltas applied bring the view forward incrementally.
+        The default only restores the cursor — subclasses that
+        implement :meth:`snapshot` override the state half.
+        """
+        self.seq = int(seq)
+
+    # ------------------------------------------------------------------
+    # Cursor plumbing (bus side)
+    # ------------------------------------------------------------------
+
+    @property
+    def lag(self) -> int:
+        """Journal events published but not yet reflected in this view."""
+        if self._bus is None:
+            return 0
+        return max(0, self._bus.seq - self.seq)
+
+    def close(self) -> None:
+        """Detach from the bus (idempotent)."""
+        if self._bus is not None:
+            self._bus.unregister(self)
+
+    def _bind(self, bus) -> None:
+        """Bus-side registration hook: adopt the stream's cursor."""
+        self._bus = bus
+        if bus is not None:
+            self.seq = bus.seq
+
+    def _deliver(self, delta) -> None:
+        """Apply one delta and advance the cursor (bus side)."""
+        self.apply(delta)
+        self.seq = delta.seq
+        self.applied_total += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r} seq={self.seq}>"
+
+
+class CallbackView(DerivedView):
+    """Deprecation shim: a pre-pipeline ``subscribe`` callback as a view.
+
+    Wraps ``callback(event, user, deltas)`` — the 3-arg edge-triple
+    channel result caches and the journal metrics used to attach
+    through. Kept for one release behind the ``OnlineIndex.subscribe``
+    shim; new code registers a real :class:`DerivedView`.
+    """
+
+    name = "legacy_callback"
+
+    def __init__(self, callback) -> None:
+        super().__init__()
+        self.callback = callback
+
+    def apply(self, delta) -> None:
+        """Replay the delta on the legacy 3-arg callback."""
+        self.callback(delta.event, delta.user, delta.edges)
+
+    def resync(self) -> None:
+        """No-op: the legacy channel never had a resync contract."""
+
+
+class ReplicaDeltaView(DerivedView):
+    """Deprecation shim: a ``subscribe_deltas`` callback as a view.
+
+    Wraps ``callback(delta: ReplicaDelta)`` — the scored shippable
+    channel replicas and the WAL used to attach through. Declares
+    ``needs_scored`` so the bus keeps exporting the annotated form.
+    """
+
+    name = "legacy_delta_callback"
+    needs_scored = True
+
+    def __init__(self, callback) -> None:
+        super().__init__()
+        self.callback = callback
+
+    def apply(self, delta) -> None:
+        """Forward the scored export to the legacy callback."""
+        if delta.replica is not None:
+            self.callback(delta.replica)
+
+    def resync(self) -> None:
+        """No-op: the legacy channel never had a resync contract."""

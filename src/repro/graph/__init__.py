@@ -1,6 +1,6 @@
 """KNN graph substrate: bounded heaps, graph object, reverse index, metrics."""
 
-from .heap import EMPTY, NeighborHeaps
+from .heap import EMPTY, NeighborHeaps, edge_digest
 from .knn_graph import KNNGraph, random_graph
 from .metrics import average_similarity, edge_recall, quality
 from .reverse import ReverseAdjacency
@@ -11,6 +11,7 @@ __all__ = [
     "NeighborHeaps",
     "ReverseAdjacency",
     "average_similarity",
+    "edge_digest",
     "edge_recall",
     "quality",
     "random_graph",

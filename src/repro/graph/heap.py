@@ -10,11 +10,24 @@ baselines and the C² merge step hammer on.
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
-__all__ = ["NeighborHeaps"]
+__all__ = ["NeighborHeaps", "edge_digest"]
 
 EMPTY = -1
+
+
+def edge_digest(heaps: NeighborHeaps) -> int:
+    """Slot-order-independent fingerprint of a heap table's edge ids.
+
+    Rows are sorted before hashing, so a primary and a replica that
+    hold the same neighbour sets in different slot layouts (or with
+    drifted scores) digest identically. This is the convergence oracle
+    both replica shipping and the anti-entropy auditor compare in.
+    """
+    return zlib.crc32(np.sort(heaps.ids[: heaps.n], axis=1).tobytes())
 
 
 class NeighborHeaps:

@@ -34,7 +34,6 @@ from .registry import (
     Histogram,
     LATENCY_BUCKETS,
     MetricsRegistry,
-    alias_stats,
 )
 from .trace import Span, Tracer, format_span
 
@@ -48,7 +47,6 @@ __all__ = [
     "MetricsRegistry",
     "Span",
     "Tracer",
-    "alias_stats",
     "format_span",
     "metrics",
     "set_metrics",

@@ -2,19 +2,21 @@
 
 The ROADMAP's declarative-pipeline item (after the krt framework in
 SNIPPETS.md) frames every journal consumer as *transform + seq cursor +
-resync recipe*. The replica tier and the WAL already consume the delta
-stream that way; this module adds the first purely **derived
-collection**: a consumer whose output is not another index but a set of
-metrics computed from the stream itself.
+resync recipe*. This module was the first consumer written explicitly
+in that shape, and with ``repro.deltas`` landed it is the template: a
+:class:`~repro.deltas.DerivedView` whose derived collection is not
+another index but a set of metrics computed from the stream itself.
 
-* **transform** — each ``(event, user, deltas)`` callback increments
-  the per-op mutation counter, the edge added/removed counters and the
-  re-split counters, and stamps a sliding window for the mutation rate.
-  O(|deltas|) per event, no index reads on the hot path.
-* **seq cursor** — :attr:`seq` tracks the last journal version folded
-  in (the same currency replicas and the WAL replay by), exported as
-  the ``journal_seq`` gauge; :meth:`collect` turns attached consumer
-  cursors (replica sets, durable logs) into ``journal_lag`` gauges.
+* **transform** — :meth:`JournalMetrics.apply` folds one
+  :class:`~repro.deltas.Delta` into the per-op mutation counter, the
+  edge added/removed counters and the re-split counters, and stamps a
+  sliding window for the mutation rate. O(|edges|) per event, no index
+  reads on the hot path.
+* **seq cursor** — the inherited ``seq`` tracks the last journal
+  version folded in (the same currency replicas and the WAL replay
+  by), exported as the ``journal_seq`` gauge; :meth:`collect` turns
+  attached consumer cursors (replica sets, durable logs) into
+  ``journal_lag`` gauges.
 * **resync recipe** — :meth:`resync` recomputes every derived gauge
   (cluster-size distribution, cluster counts) from the live index
   state, exactly what a consumer does after an unshippable event; it
@@ -32,22 +34,25 @@ import threading
 from collections import deque
 from time import perf_counter
 
+from ..deltas.view import DerivedView
 from .registry import COUNT_BUCKETS, MetricsRegistry
 
 __all__ = ["JournalMetrics"]
 
 
-class JournalMetrics:
+class JournalMetrics(DerivedView):
     """Derives operational metrics from an index's mutation journal.
 
     Args:
         index: the :class:`~repro.online.OnlineIndex` whose journal to
-            consume (subscribed on construction; :meth:`close`
-            unsubscribes).
+            consume (registered on the index's delta bus at
+            construction; :meth:`close` detaches).
         registry: the :class:`~repro.obs.MetricsRegistry` to publish
             into (default: the process-wide registry).
         window_s: sliding-window length for ``journal_mutation_rate``.
     """
+
+    name = "journal_metrics"
 
     def __init__(
         self,
@@ -55,13 +60,13 @@ class JournalMetrics:
         registry: MetricsRegistry | None = None,
         window_s: float = 60.0,
     ) -> None:
-        """Subscribe to ``index`` and seed the derived gauges."""
+        """Register on ``index``'s bus and seed the derived gauges."""
         from . import metrics  # deferred: repro.obs re-exports this class
 
+        super().__init__()
         self.index = index
         self.registry = registry if registry is not None else metrics()
         self.window_s = float(window_s)
-        self.seq = int(index.version)
         self._lock = threading.Lock()
         self._stamps: deque[float] = deque()
         self._counts: dict[str, int] = {}
@@ -79,23 +84,23 @@ class JournalMetrics:
         # Index totals already folded in (attach may follow prior churn).
         self._resplits_seen = 0
         self._moved_seen = 0
-        index.subscribe(self._on_event)
+        index.deltas.register(self)
         self.resync()
 
     # ------------------------------------------------------------------
     # Transform: one journal event -> counter increments
     # ------------------------------------------------------------------
 
-    def _on_event(self, event: str, user: int, deltas) -> None:
-        """The subscribe hook: fold one mutation into the metrics."""
+    def apply(self, delta) -> None:
+        """Fold one :class:`~repro.deltas.Delta` into the metrics."""
+        event = delta.event
         added = removed = 0
-        for _u, _v, was_added, *_ in deltas:
+        for _u, _v, was_added, *_ in delta.edges:
             if was_added:
                 added += 1
             else:
                 removed += 1
         with self._lock:
-            self.seq = int(self.index.version)
             self._counts[event] = self._counts.get(event, 0) + 1
             self._stamps.append(perf_counter())
         self.registry.counter("journal_mutations_total", op=event).inc()
@@ -103,7 +108,7 @@ class JournalMetrics:
             self._c_added.inc(added)
         if removed:
             self._c_removed.inc(removed)
-        self._g_seq.set(self.seq)
+        self._g_seq.set(int(delta.seq))
         if event == "resplit":
             # One journal event may split recursively; the index's own
             # counters say how many clusters it actually opened.
@@ -128,7 +133,8 @@ class JournalMetrics:
 
         ``fn`` is a zero-arg callable returning mutations shipped but
         not yet applied by that consumer (e.g.
-        :meth:`repro.serve.ReplicaSet.lag`), published as the
+        :meth:`repro.serve.ReplicaSet.lag` or
+        :meth:`repro.persist.DurableIndex.lag`), published as the
         ``journal_lag{consumer=...}`` gauge.
         """
         self._lag_sources[str(name)] = fn
@@ -189,10 +195,3 @@ class JournalMetrics:
         self._refresh_clusters(self.index.stats())
         for name, fn in self._lag_sources.items():
             self.registry.gauge("journal_lag", consumer=name).set(float(fn()))
-
-    def close(self) -> None:
-        """Unsubscribe from the index's journal."""
-        try:
-            self.index.unsubscribe(self._on_event)
-        except ValueError:  # pragma: no cover - already detached
-            pass

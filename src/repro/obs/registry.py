@@ -36,7 +36,6 @@ __all__ = [
     "Histogram",
     "LATENCY_BUCKETS",
     "MetricsRegistry",
-    "alias_stats",
 ]
 
 # Log-spaced (factor 2) latency bounds in seconds: 10µs .. ~10.5s.
@@ -49,22 +48,6 @@ LATENCY_BUCKETS: tuple[float, ...] = tuple(1e-5 * (2.0**i) for i in range(21))
 COUNT_BUCKETS: tuple[float, ...] = tuple(float(2**i) for i in range(15))
 
 _QUANTILES = ((0.5, "p50"), (0.9, "p90"), (0.99, "p99"), (0.999, "p999"))
-
-
-def alias_stats(stats: dict, aliases: dict[str, str]) -> dict:
-    """Mirror canonical ``stats()`` keys under their legacy names.
-
-    The serving components report one canonical key vocabulary
-    (``queries_total``, ``deltas_shipped_total``, ``version``, …; see
-    ``docs/observability.md``) but callers from previous releases still
-    read the old per-component spellings. ``aliases`` maps each legacy
-    key to the canonical key whose value it mirrors; the legacy keys
-    are kept for one release and then dropped.
-    """
-    out = dict(stats)
-    for legacy, canonical in aliases.items():
-        out[legacy] = stats[canonical]
-    return out
 
 
 def _label_suffix(labels: tuple) -> str:

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import pickle
 import threading
+import warnings
 from dataclasses import dataclass, field
 from time import perf_counter
 
@@ -53,6 +54,8 @@ from ..core.cluster_and_conquer import cluster_and_conquer
 from ..core.clustering import group_by_value
 from ..core.config import C2Params
 from ..core.fastrandomhash import UNDEFINED
+from ..deltas.bus import Delta, DeltaBus
+from ..deltas.view import CallbackView, DerivedView, ReplicaDeltaView
 from ..graph.heap import EMPTY
 from ..graph.reverse import ReverseAdjacency
 from ..result import BuildResult
@@ -126,6 +129,40 @@ class ReplicaDelta:
     resplit: dict | None = None
 
 
+class _ReverseView(DerivedView):
+    """Internal view maintaining the index's own :class:`ReverseAdjacency`.
+
+    Registered on every index's bus at priority 0 so the in-edge sets
+    are patched before any other view runs — front ends may read
+    ``index.reverse_index()`` from their own ``apply`` hooks and must
+    observe post-mutation state. While the reverse index has not been
+    built (it is lazy) the view no-ops; after a ``rebuild`` discards it
+    (:meth:`OnlineIndex._install` resets ``_reverse``) the next
+    :meth:`OnlineIndex.reverse_index` call rebuilds from fresh edges.
+    """
+
+    name = "reverse_adjacency"
+    priority = 0
+
+    def __init__(self, index: "OnlineIndex") -> None:
+        super().__init__()
+        self._index = index
+
+    def apply(self, delta: Delta) -> None:
+        """Patch the in-edge sets from the journal (no-op while unbuilt)."""
+        rev = self._index._reverse
+        if rev is None:
+            return
+        rev.grow(delta.n_users)
+        rev.apply(delta.edges)
+
+    def resync(self) -> None:
+        """Rebuild the in-edge sets from the live heap table."""
+        self._index._reverse = ReverseAdjacency.from_heaps(
+            self._index.graph.heaps
+        )
+
+
 class OnlineIndex:
     """An incrementally maintainable Cluster-and-Conquer KNN graph.
 
@@ -191,12 +228,17 @@ class OnlineIndex:
         self.n_rebuilds = 0
         self.version = 0
         self.lock = RWLock()  # mutations write, serving walks read
-        self._listeners: list = []
-        self._delta_listeners: list = []
-        # Payload of the most recent resplit event: listeners on the
-        # 3-arg subscribe channel (whose deltas are empty for a
-        # resplit) read the touched-cluster set from here — safe
-        # because listeners run synchronously under the write lock.
+        # The delta pipeline: one Delta published per mutation, every
+        # consumer (reverse adjacency, caches, replicas, WAL, metrics)
+        # a registered DerivedView. The deprecated subscribe /
+        # subscribe_deltas shims park their wrapper views here, keyed
+        # by (channel, callback), so unsubscribe can find them.
+        self.deltas = DeltaBus(self)
+        self.deltas.register(_ReverseView(self))
+        self._legacy_views: dict = {}
+        # Payload of the most recent resplit event (back-compat; new
+        # consumers read ``delta.resplit`` off the published Delta) —
+        # safe because views run synchronously under the write lock.
         self.last_resplit: dict | None = None
         self._bind_metrics()
         self._refiller = None  # lazily-built GraphSearcher (serve subsystem)
@@ -301,12 +343,14 @@ class OnlineIndex:
 
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
-        # Listeners are bound to front-end objects in the parent
+        # Registered views are bound to front-end objects in the parent
         # process, the refiller holds a back-reference, locks and
         # metric handles (they hold locks too) are not picklable; a
-        # worker's snapshot starts detached.
-        state["_listeners"] = []
-        state["_delta_listeners"] = []
+        # worker's snapshot starts detached with a fresh bus. The
+        # ``_reverse`` array state itself IS shipped — only its
+        # maintaining view is recreated on load.
+        state["deltas"] = None
+        state["_legacy_views"] = {}
         state["_refiller"] = None
         state["lock"] = None
         state["_reverse_build_lock"] = None
@@ -317,6 +361,8 @@ class OnlineIndex:
         self.__dict__.update(state)
         self.lock = RWLock()
         self._reverse_build_lock = threading.Lock()
+        self.deltas = DeltaBus(self)
+        self.deltas.register(_ReverseView(self))
         self._bind_metrics()
 
     # ------------------------------------------------------------------
@@ -361,64 +407,110 @@ class OnlineIndex:
         return frozenset(self._degraded)
 
     # ------------------------------------------------------------------
-    # Mutation listeners (cache invalidation for the serving layer)
+    # The delta pipeline (consumers register DerivedViews on the bus)
     # ------------------------------------------------------------------
 
     def subscribe(self, callback) -> None:
-        """Register ``callback(event, user, deltas)`` after every mutation.
+        """Deprecated: register ``callback(event, user, deltas)``.
 
-        Events: ``add_user``, ``add_items``, ``remove_user``,
-        ``refill``, ``resplit``, ``rebuild``. ``user`` is the mutated
-        user id (-1 for ``resplit`` and ``rebuild``; a re-split changes
-        routing state for many users at once, so result caches treat it
-        like a global event and clear — see
-        ``repro.serve.engine``). ``deltas`` is the list of per-edge changes
-        the mutation made to the graph, as ``(u, v, added)`` triples in
-        application order — empty for ``rebuild``, whose edge set is
-        replaced wholesale. ``repro.serve.QueryEngine`` wires its
-        result-cache invalidation through this hook; the deltas are
-        what let downstream reverse-adjacency state be patched instead
-        of rebuilt.
+        .. deprecated::
+            Use ``index.deltas.register(view)`` with a
+            :class:`~repro.deltas.DerivedView` (see
+            ``docs/architecture.md``, "Migrating off subscribe").
+            This shim wraps the callback in a
+            :class:`~repro.deltas.CallbackView` and will be removed
+            next release.
         """
-        self._listeners.append(callback)
+        warnings.warn(
+            "OnlineIndex.subscribe is deprecated; register a "
+            "repro.deltas.DerivedView via index.deltas.register(view)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._legacy_views[("cb", callback)] = self.deltas.register(
+            CallbackView(callback)
+        )
 
     def unsubscribe(self, callback) -> None:
-        """Remove a previously registered mutation listener."""
-        self._listeners.remove(callback)
+        """Deprecated: remove a :meth:`subscribe` callback.
+
+        Raises ``ValueError`` for an unknown callback, matching the old
+        ``list.remove`` contract.
+        """
+        warnings.warn(
+            "OnlineIndex.unsubscribe is deprecated; keep the view returned "
+            "by index.deltas.register(view) and call view.close()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        view = self._legacy_views.pop(("cb", callback), None)
+        if view is None:
+            raise ValueError(f"{callback!r} is not subscribed")
+        self.deltas.unregister(view)
 
     def subscribe_deltas(self, callback) -> None:
-        """Register ``callback(delta: ReplicaDelta)`` after every mutation.
+        """Deprecated: register ``callback(delta: ReplicaDelta)``.
 
-        The replication channel: unlike :meth:`subscribe` (whose edge
-        triples suffice for caches and reverse-adjacency maintenance),
-        delta listeners receive the full shippable
-        :class:`ReplicaDelta` — scored edges plus profile and routing
-        changes — which :meth:`apply_delta` can replay on a
-        :meth:`clone`. Export work is only spent while at least one
-        delta listener is attached.
+        .. deprecated::
+            Use ``index.deltas.register(view)`` with a
+            :class:`~repro.deltas.DerivedView` declaring
+            ``needs_scored = True``. This shim wraps the callback in a
+            :class:`~repro.deltas.ReplicaDeltaView` and will be removed
+            next release.
         """
-        self._delta_listeners.append(callback)
+        warnings.warn(
+            "OnlineIndex.subscribe_deltas is deprecated; register a "
+            "repro.deltas.DerivedView with needs_scored=True via "
+            "index.deltas.register(view)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._legacy_views[("delta", callback)] = self.deltas.register(
+            ReplicaDeltaView(callback)
+        )
 
     def unsubscribe_deltas(self, callback) -> None:
-        """Remove a previously registered delta listener."""
-        self._delta_listeners.remove(callback)
+        """Deprecated: remove a :meth:`subscribe_deltas` callback.
+
+        Raises ``ValueError`` for an unknown callback, matching the old
+        ``list.remove`` contract.
+        """
+        warnings.warn(
+            "OnlineIndex.unsubscribe_deltas is deprecated; keep the view "
+            "returned by index.deltas.register(view) and call view.close()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        view = self._legacy_views.pop(("delta", callback), None)
+        if view is None:
+            raise ValueError(f"{callback!r} is not subscribed")
+        self.deltas.unregister(view)
 
     def _notify(self, event: str, user: int, items=None, resplit=None) -> None:
-        deltas = self.graph.heaps.drain_journal()
+        edges = self.graph.heaps.drain_journal()
         self.version += 1
-        if self._reverse is not None:
-            self._reverse.grow(self._data.n_users)
-            self._reverse.apply(deltas)
         new_clusters = self._cluster_key[self._n_notified_clusters :]
         self._n_notified_clusters = len(self._cluster_key)
-        if self._delta_listeners:
-            delta = self._export_delta(
-                event, user, deltas, items, new_clusters, resplit
+        # The scored shippable export is the one expensive annotation;
+        # it is only built while some registered view asks for it.
+        replica = None
+        if self.deltas.needs_scored:
+            replica = self._export_delta(
+                event, user, edges, items, new_clusters, resplit
             )
-            for callback in list(self._delta_listeners):
-                callback(delta)
-        for callback in list(self._listeners):
-            callback(event, user, deltas)
+        self.deltas.publish(
+            Delta(
+                seq=self.version,
+                event=event,
+                user=int(user),
+                edges=edges,
+                items=items,
+                n_users=self._data.n_users,
+                n_items=self._data.n_items,
+                resplit=resplit,
+                replica=replica,
+            )
+        )
 
     def _export_delta(
         self, event: str, user: int, deltas, items, new_clusters, resplit=None
@@ -561,12 +653,8 @@ class OnlineIndex:
                         if cid >= 0:
                             self._members[cid].append(user)
                         self._assign[user][config] = cid
-            if self._reverse is not None:
-                self._reverse.grow(self._data.n_users)
             self.graph.heaps.apply_edge_deltas(delta.edges)
             replayed = self.graph.heaps.drain_journal()
-            if self._reverse is not None:
-                self._reverse.apply_scored(delta.edges)
             if event == "remove_user":
                 active = self._data.active_mask()
                 self._degraded.update(
@@ -576,10 +664,24 @@ class OnlineIndex:
                 )
             self._degraded.discard(user)
             self.version = delta.seq
-            # A replica's own subscribers (e.g. a per-replica cache)
-            # observe the replayed mutation through the normal channel.
-            for callback in list(self._listeners):
-                callback(event, user, replayed)
+            # The replica's own views (its reverse adjacency, a
+            # per-replica cache, a chained downstream tier) observe the
+            # replayed mutation through the replica's bus. The locally
+            # replayed journal is the structural truth; the shipped
+            # scored delta rides along for any needs_scored view.
+            self.deltas.publish(
+                Delta(
+                    seq=self.version,
+                    event=event,
+                    user=int(user),
+                    edges=replayed,
+                    items=delta.items,
+                    n_users=self._data.n_users,
+                    n_items=self._data.n_items,
+                    resplit=delta.resplit,
+                    replica=delta if self.deltas.needs_scored else None,
+                )
+            )
             return True
 
     def attach_persistence(self, path, **kwargs):
@@ -588,7 +690,7 @@ class OnlineIndex:
         Convenience for :class:`repro.persist.DurableIndex`: a baseline
         snapshot is written (when the directory is fresh) and every
         subsequent mutation's :class:`ReplicaDelta` is appended to the
-        write-ahead log through a :meth:`subscribe_deltas` hook, so a
+        write-ahead log through a registered WAL view, so a
         restart recovers the exact serving state with
         ``DurableIndex.recover(path)`` instead of paying a rebuild.
         Keyword arguments are forwarded (``checkpoint_bytes``,
@@ -707,11 +809,12 @@ class OnlineIndex:
 
         Keys follow the canonical cross-component vocabulary of
         ``docs/observability.md`` (``mutations_total``, ``clusters``,
-        ``version``, …); the pre-unification spellings (``n_updates``,
-        ``n_clusters``, …) are kept as aliases for one release.
+        ``version``, …). The pre-unification spellings (``n_updates``,
+        ``n_clusters``, …) were dropped after their one-release grace
+        window.
         """
         sizes = np.array([len(m) for m in self._members], dtype=np.int64)
-        canonical = {
+        return {
             "component": "online_index",
             "n_users": self.n_users,
             "n_active": int(self._data.active_users().size),
@@ -733,17 +836,6 @@ class OnlineIndex:
             "reverse_built": self._reverse is not None,
             "version": self.version,
         }
-        return obs.alias_stats(
-            canonical,
-            {
-                "n_updates": "mutations_total",
-                "n_clusters": "clusters",
-                "n_oversized": "oversized",
-                "n_resplits": "resplits_total",
-                "n_rebuilds": "rebuilds_total",
-                "n_degraded": "degraded",
-            },
-        )
 
     # ------------------------------------------------------------------
     # Updates
@@ -942,9 +1034,9 @@ class OnlineIndex:
             "members": [(int(c), list(self._members[c])) for c in sorted(touched)],
             "unsplittable": [int(c) for c in frozen],
         }
-        # Stashed before notify so 3-arg subscribe listeners (whose
-        # deltas are empty for a resplit) can read the touched-cluster
-        # set — the result caches evict selectively from it.
+        # Stashed for back-compat inspection; views read the same
+        # payload off ``delta.resplit`` — the result caches evict the
+        # touched-cluster lineages selectively from it.
         self.last_resplit = payload
         self._notify("resplit", -1, resplit=payload)
 

@@ -3,7 +3,7 @@
 Without persistence, a process restart throws the maintained C² graph
 away and pays a full O(n·k̃) similarity rebuild before serving again.
 But the mutation stream the index already exports for replicas
-(:meth:`~repro.online.OnlineIndex.subscribe_deltas`) is a natural
+(the delta bus's scored channel) is a natural
 write-ahead log: each :class:`~repro.online.ReplicaDelta` replays on a
 snapshot clone in O(|edges|) work and **zero similarity evaluations**
 (:meth:`~repro.online.OnlineIndex.apply_delta`). A restart is just a
@@ -11,8 +11,8 @@ replica of the dead process.
 
 :class:`DurableIndex` wires that together:
 
-* **attach** — subscribe to the live index's delta stream and append
-  each delta (pickled, framed, checksummed) to a
+* **attach** — register a WAL view on the live index's delta bus and
+  append each delta (pickled, framed, checksummed) to a
   :class:`~repro.persist.WriteAheadLog`; write a baseline snapshot via
   :class:`~repro.persist.SnapshotStore` when the directory is fresh;
 * **checkpoint** — rotate the log, snapshot the index atomically, and
@@ -40,9 +40,37 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from .. import obs
+from ..deltas.view import DerivedView
 from ..online.index import OnlineIndex
 from .snapshot import SnapshotStore
 from .wal import WALError, WriteAheadLog
+
+
+class _WalView(DerivedView):
+    """The WAL's bus registration: append every scored delta to disk.
+
+    Declares ``needs_scored`` — the log stores the shippable
+    :class:`~repro.online.ReplicaDelta` form, which recovery replays
+    through the same seq-guarded ``apply_delta`` path replicas use.
+    The resync recipe is a checkpoint: when deltas cannot express what
+    happened (a ``rebuild``), the snapshot *is* the durable form.
+    """
+
+    name = "durable_wal"
+    needs_scored = True
+
+    def __init__(self, durable: "DurableIndex") -> None:
+        super().__init__()
+        self._durable = durable
+
+    def apply(self, delta) -> None:
+        """Append one mutation to the log (runs inside the mutation)."""
+        if delta.replica is not None:
+            self._durable._on_delta(delta.replica)
+
+    def resync(self) -> None:
+        """Checkpoint: snapshot the live index, compact the log."""
+        self._durable.checkpoint()
 
 __all__ = ["DurableIndex", "RecoveryInfo"]
 
@@ -184,11 +212,22 @@ class DurableIndex:
                 f"directory {self.path} is at seq {on_disk} but the index "
                 f"is at version {index.version}; use DurableIndex.recover()"
             )
-        index.subscribe_deltas(self._on_delta)
+        self._view = index.deltas.register(_WalView(self))
 
     # ------------------------------------------------------------------
     # The persistence hook
     # ------------------------------------------------------------------
+
+    def lag(self) -> int:
+        """Mutations published but not yet appended to the log.
+
+        Zero in steady state — the WAL view appends synchronously
+        inside each mutation. Non-zero means the durability pipeline
+        fell behind the journal (e.g. the view was detached), which is
+        exactly what ``metrics-dump``'s ``journal_lag{consumer="wal"}``
+        gauge surfaces.
+        """
+        return self._view.lag
 
     def _on_delta(self, delta) -> None:
         """Append one mutation to the log (runs inside the mutation).
@@ -341,9 +380,9 @@ class DurableIndex:
     def stats(self) -> dict:
         """Operational counters for dashboards, benchmarks and tests.
 
-        Extends the wrapped WAL's canonical stats (the WAL keys keep
-        their own aliases); ``checkpoints`` stays aliased to
-        ``checkpoints_total`` for one release.
+        Extends the wrapped WAL's canonical stats; the legacy
+        ``checkpoints`` spelling was dropped after its one-release
+        grace window.
         """
         out = self.wal.stats()
         out.update(
@@ -358,14 +397,14 @@ class DurableIndex:
                 "replayed": self.recovery.replayed,
                 "seconds": round(self.recovery.seconds, 4),
             }
-        return obs.alias_stats(out, {"checkpoints": "checkpoints_total"})
+        return out
 
     def close(self) -> None:
         """Detach from the index, wait out checkpoints, release the log."""
         if self._closed:
             return
         self._closed = True
-        self.index.unsubscribe_deltas(self._on_delta)
+        self._view.close()
         thread = self._cp_thread
         if thread is not None and thread.is_alive():
             thread.join()

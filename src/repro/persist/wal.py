@@ -388,11 +388,11 @@ class WriteAheadLog:
         """Operational counters for dashboards and tests.
 
         Canonical keys per the shared vocabulary
-        (``docs/observability.md``); the legacy names remain as read
-        aliases for one release.
+        (``docs/observability.md``); the pre-unification spellings were
+        dropped after their one-release grace window.
         """
         with self._lock:
-            canonical = {
+            return {
                 "component": "wal",
                 "segments": len(self._segments),
                 "bytes": self.size_bytes(),
@@ -400,11 +400,3 @@ class WriteAheadLog:
                 "appends_total": self.appended,
                 "tail_torn": self.tail_torn,
             }
-        return obs.alias_stats(
-            canonical,
-            {
-                "n_segments": "segments",
-                "wal_bytes": "bytes",
-                "appended": "appends_total",
-            },
-        )

@@ -9,8 +9,9 @@ into a service front end:
 * **deduplication** — identical profiles inside a batch are searched
   once, so a thundering herd of the same query charges the engine a
   single time;
-* **an LRU result cache** wired to
-  :meth:`~repro.online.OnlineIndex.subscribe`. Two invalidation modes:
+* **an LRU result cache** wired to the index's delta bus as a
+  registered :class:`~repro.deltas.DerivedView`. Two invalidation
+  modes:
 
   - ``"partial"`` (default): a user→cache-key postings map tracks
     which cached result sets contain which users; a mutation of user
@@ -56,6 +57,7 @@ from time import perf_counter
 import numpy as np
 
 from .. import obs
+from ..deltas.view import DerivedView
 from ..online.index import OnlineIndex
 from .searcher import GraphSearcher, SearchResult
 
@@ -82,21 +84,40 @@ def _signup_contacts(event: str, deltas) -> set[int] | None:
     return contacts
 
 
-def _resplit_clusters(index, event: str) -> list[int] | None:
+def _resplit_clusters(delta) -> list[int] | None:
     """Touched-cluster ids of a ``resplit`` event (``None`` otherwise).
 
-    The 3-arg subscribe channel ships no payload for a re-split (its
-    edge deltas are empty — nothing structural moved), so the engines
-    read the touched set from the index's ``last_resplit`` stash,
-    which the mutation wrote just before notifying; listeners run
-    synchronously under the write lock, so the read is race-free.
+    A re-split moves no graph edges, so its :class:`~repro.deltas.Delta`
+    carries the routing change as the ``resplit`` payload instead; the
+    touched-cluster ids are what lineage-keyed cache eviction needs.
     """
-    if event != "resplit":
+    if delta.event != "resplit":
         return None
-    info = getattr(index, "last_resplit", None)
-    if info is None:
+    if delta.resplit is None:
         return None  # defensive: fall back to the full clear
-    return [int(cid) for cid, _members in info["members"]]
+    return [int(cid) for cid, _members in delta.resplit["members"]]
+
+
+class _CacheView(DerivedView):
+    """Result-cache invalidation as a derived view.
+
+    Wraps a front end's ``_on_delta`` (both :class:`QueryEngine` and
+    :class:`~repro.serve.ShardedQueryEngine` expose one); the resync
+    recipe for a cache is the trivial one — drop everything, the next
+    misses repopulate from the source of truth.
+    """
+
+    def __init__(self, engine, name: str) -> None:
+        super().__init__(name=name)
+        self._engine = engine
+
+    def apply(self, delta) -> None:
+        """Evict whatever this mutation can have changed."""
+        self._engine._on_delta(delta)
+
+    def resync(self) -> None:
+        """A cache rebuilds by forgetting: clear and refill on miss."""
+        self._engine._cache.clear()
 
 
 class AsyncSearchMixin:
@@ -243,7 +264,7 @@ class _ResultCache:
                     del self._cluster_postings[int(cid)]
 
     def on_mutation(self, event: str, user: int, touched=None, clusters=None) -> None:
-        """Invalidate for one index mutation (the subscribe hook body).
+        """Invalidate for one index mutation (the cache view's apply body).
 
         ``touched`` optionally widens the eviction beyond the mutated
         user's own postings — the engines pass the signup-contact set
@@ -366,7 +387,7 @@ class QueryEngine(AsyncSearchMixin):
         self._c_dedup = reg.counter("cache_dedup_total", frontend="engine")
         self._h_batch = reg.histogram("serve_batch_seconds", frontend="engine")
         self._init_async()
-        index.subscribe(self._on_mutation)
+        self._view = index.deltas.register(_CacheView(self, "result_cache"))
 
     @property
     def invalidation(self) -> str:
@@ -374,14 +395,14 @@ class QueryEngine(AsyncSearchMixin):
         return self._cache.mode
 
     def close(self) -> None:
-        """Detach the invalidation hook from the index.
+        """Detach the invalidation view from the index's delta bus.
 
         A closed engine stops observing mutations: in ``"full"`` mode
         the version stamps still refuse stale entries on lookup, in
         ``"partial"`` mode the cache is cleared here because nothing
         will evict mutated answers anymore.
         """
-        self.index.unsubscribe(self._on_mutation)
+        self._view.close()
         if self._cache.mode == "partial":
             self._cache.clear()
 
@@ -389,13 +410,13 @@ class QueryEngine(AsyncSearchMixin):
     # Cache plumbing
     # ------------------------------------------------------------------
 
-    def _on_mutation(self, event: str, user: int, deltas) -> None:
-        """Index mutation hook → evict what the mutation can have changed."""
+    def _on_delta(self, delta) -> None:
+        """Delta-view hook → evict what the mutation can have changed."""
         self._cache.on_mutation(
-            event,
-            user,
-            touched=_signup_contacts(event, deltas),
-            clusters=_resplit_clusters(self.index, event),
+            delta.event,
+            delta.user,
+            touched=_signup_contacts(delta.event, delta.edges),
+            clusters=_resplit_clusters(delta),
         )
 
     # ------------------------------------------------------------------
@@ -460,12 +481,11 @@ class QueryEngine(AsyncSearchMixin):
     def stats(self) -> dict:
         """Operational counters for dashboards and tests.
 
-        Canonical keys follow the shared serving-stats vocabulary
-        (``docs/observability.md``); the legacy per-component names are
-        kept as read aliases for one release via
-        :func:`repro.obs.alias_stats`.
+        Keys follow the shared serving-stats vocabulary
+        (``docs/observability.md``); the pre-unification per-component
+        spellings were dropped after their one-release grace window.
         """
-        canonical = {
+        return {
             "component": "query_engine",
             "queries_total": self.n_queries,
             "cache_hits_total": self.cache_hits,
@@ -480,15 +500,3 @@ class QueryEngine(AsyncSearchMixin):
             "cluster_postings_entries": self._cache.cluster_postings_size(),
             "version": self.index.version,
         }
-        return obs.alias_stats(
-            canonical,
-            {
-                "n_queries": "queries_total",
-                "cache_hits": "cache_hits_total",
-                "cache_misses": "cache_misses_total",
-                "dedup_hits": "dedup_hits_total",
-                "invalidations": "evictions_total",
-                "cached_entries": "cache_entries",
-                "index_version": "version",
-            },
-        )

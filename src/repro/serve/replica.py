@@ -11,8 +11,8 @@ module replaces both with replication:
   heaps and :class:`~repro.graph.reverse.ReverseAdjacency` — so a
   walk touches **no primary state and no primary lock**;
 * mutations apply **once** on the primary; the per-edge journal deltas
-  (annotated into :class:`~repro.online.ReplicaDelta` by
-  ``subscribe_deltas``) are shipped to every replica, which converges
+  (annotated into :class:`~repro.online.ReplicaDelta` for the tier's
+  ``needs_scored`` view) are shipped to every replica, which converges
   via :meth:`~repro.online.OnlineIndex.apply_delta` in O(|edges|) work
   and zero similarity evaluations — **no snapshot re-forks**.
 
@@ -44,29 +44,50 @@ from __future__ import annotations
 
 import pickle
 import threading
-import zlib
 from concurrent.futures import ProcessPoolExecutor
 from time import perf_counter
 
-import numpy as np
-
 from .. import obs
-from ..graph.heap import NeighborHeaps
+from ..deltas.view import DerivedView
+from ..graph.heap import edge_digest
 from ..online.index import OnlineIndex, ReplicaDelta
 from .searcher import GraphSearcher, SearchResult
 
 __all__ = ["ReplicaSet", "edge_digest"]
 
 
-def edge_digest(heaps: NeighborHeaps) -> int:
-    """Slot-order-independent fingerprint of a heap table's edge ids.
+class _ShipView(DerivedView):
+    """The replica tier's bus registration: forward scored deltas.
 
-    Rows are sorted before hashing, so a primary and a replica that
-    hold the same neighbour sets in different slot layouts (or with
-    drifted scores) digest identically.
+    Declares ``needs_scored`` so the index keeps annotating journal
+    edges into shippable :class:`~repro.online.ReplicaDelta`\\ s; the
+    tier's own transport logic (synchronous thread apply, per-replica
+    process queues, contained failure → counted resync) stays in
+    :class:`ReplicaSet`. The resync recipe re-snapshots every replica
+    from the primary.
     """
-    return zlib.crc32(np.sort(heaps.ids[: heaps.n], axis=1).tobytes())
 
+    name = "replica_ship"
+    needs_scored = True
+
+    def __init__(self, replicas: "ReplicaSet") -> None:
+        super().__init__()
+        self._replicas = replicas
+
+    def apply(self, delta) -> None:
+        """Ship one scored mutation to the tier."""
+        if delta.replica is not None:
+            self._replicas._on_delta(delta.replica)
+
+    def resync(self) -> None:
+        """Re-snapshot every replica from the primary."""
+        for i in range(self._replicas.n_replicas):
+            self._replicas.resync_replica(i)
+
+
+# ``edge_digest`` moved to :mod:`repro.graph.heap` (re-exported above
+# for back-compat) so journal-layer consumers can use it without
+# importing the serving tier.
 
 # Process-mode worker state: one pinned worker per replica holds the
 # cloned index and drains its delta queue before serving each batch.
@@ -182,12 +203,12 @@ class ReplicaSet:
             self._needs_resync = [False] * self.n_replicas
             for _ in range(self.n_replicas):
                 self._pools.append(self._new_pool(snapshot))
-        # Subscribe after cloning: a mutation racing the clone is either
+        # Register after cloning: a mutation racing the clone is either
         # already inside the snapshot (its delta is skipped by the seq
         # guard) or arrives as the next delta in sequence. A delta lost
-        # in the unsubscribed gap surfaces as a sequence gap and heals
+        # in the unregistered gap surfaces as a sequence gap and heals
         # through a counted resync.
-        index.subscribe_deltas(self._on_delta)
+        self._view = index.deltas.register(_ShipView(self))
 
     def _new_pool(self, payload: bytes) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
@@ -358,17 +379,43 @@ class ReplicaSet:
         """
         with self.index.lock.read():
             want = (self.index.version, edge_digest(self.index.graph.heaps))
+        return all(got == want for got in self.replica_states())
+
+    def replica_states(self) -> list[tuple[int, int]]:
+        """``(version, edge digest)`` per replica — the audit currency.
+
+        Process replicas drain their pending queues first (the same
+        read-your-ship contract as :meth:`converged`); thread replicas
+        are read under their own locks. The
+        :class:`~repro.deltas.AntiEntropy` view compares these pairs
+        against the primary oracle.
+        """
         if self.mode == "thread":
+            out = []
             for replica in self._replicas:
                 with replica.lock.read():
-                    got = (replica.version, edge_digest(replica.graph.heaps))
-                if got != want:
-                    return False
-            return True
-        for i in range(self.n_replicas):
-            if self._submit(i, _replica_state).result() != want:
-                return False
-        return True
+                    out.append(
+                        (replica.version, edge_digest(replica.graph.heaps))
+                    )
+            return out
+        return [
+            self._submit(i, _replica_state).result()
+            for i in range(self.n_replicas)
+        ]
+
+    def resync_replica(self, i: int) -> None:
+        """Force replica ``i`` back onto a fresh primary snapshot.
+
+        The repair entry point anti-entropy uses: thread replicas are
+        re-cloned immediately; process replicas are marked and re-fork
+        lazily on their next submit (the same contained-failure path a
+        sequence gap takes). Counted in ``resyncs_total``.
+        """
+        if self.mode == "thread":
+            self._resync_thread(i)
+        else:
+            with self._ship_lock:
+                self._needs_resync[i] = True
 
     def lag(self) -> int:
         """Mutations shipped but not yet applied, worst replica."""
@@ -398,9 +445,9 @@ class ReplicaSet:
         one dashboard number in the same counted-similarity currency
         as builds and updates (the ROADMAP follow-up: replica walks
         charge their clone's engine, not the primary's). Each
-        per-replica entry also carries its own ``lag``. Canonical keys
-        follow the shared vocabulary (``docs/observability.md``);
-        legacy names remain as read aliases for one release.
+        per-replica entry also carries its own ``lag``. Keys follow
+        the shared vocabulary (``docs/observability.md``); the legacy
+        spellings were dropped after their one-release grace window.
         """
         lags = self.per_replica_lag()
         with self._serving_lock:
@@ -408,7 +455,7 @@ class ReplicaSet:
                 dict(counters, lag=lags[i])
                 for i, counters in enumerate(self._served)
             ]
-        canonical = {
+        return {
             "component": "replica_set",
             "n_replicas": self.n_replicas,
             "mode": self.mode,
@@ -423,21 +470,13 @@ class ReplicaSet:
                 "per_replica": per_replica,
             },
         }
-        return obs.alias_stats(
-            canonical,
-            {
-                "deltas_shipped": "deltas_shipped_total",
-                "resyncs": "resyncs_total",
-                "primary_version": "version",
-            },
-        )
 
     def close(self) -> None:
         """Detach from the primary and release replica resources."""
         if self._closed:
             return
         self._closed = True
-        self.index.unsubscribe_deltas(self._on_delta)
+        self._view.close()
         if self.mode == "process":
             with self._ship_lock:
                 for i, pool in enumerate(self._pools):

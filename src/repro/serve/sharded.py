@@ -52,7 +52,13 @@ import numpy as np
 
 from .. import obs
 from ..online.index import OnlineIndex
-from .engine import AsyncSearchMixin, _ResultCache, _resplit_clusters, _signup_contacts
+from .engine import (
+    AsyncSearchMixin,
+    _CacheView,
+    _ResultCache,
+    _resplit_clusters,
+    _signup_contacts,
+)
 from .replica import ReplicaSet
 from .searcher import GraphSearcher, SearchResult
 
@@ -165,6 +171,17 @@ class ShardedQueryEngine(AsyncSearchMixin):
         self._c_misses = reg.counter("cache_misses_total", frontend="sharded")
         self._c_dedup = reg.counter("cache_dedup_total", frontend="sharded")
         self._h_batch = reg.histogram("serve_batch_seconds", frontend="sharded")
+        # Per-shard series: one aggregated frontend="sharded" line
+        # cannot show a hot or straggling shard, so misses and batch
+        # time are also recorded under a shard label.
+        self._c_shard_misses = [
+            reg.counter("shard_misses_total", frontend="sharded", shard=str(i))
+            for i in range(self.n_shards)
+        ]
+        self._h_shard_batch = [
+            reg.histogram("shard_batch_seconds", frontend="sharded", shard=str(i))
+            for i in range(self.n_shards)
+        ]
         self._pool_lock = threading.Lock()
         self._stale = True  # process pool not yet forked
         self.reforks = 0  # legacy process-snapshot pool re-creations
@@ -208,7 +225,7 @@ class ShardedQueryEngine(AsyncSearchMixin):
             self._searchers = []
             self._shard_locks = []
             self._pool = None
-        index.subscribe(self._on_mutation)
+        self._view = index.deltas.register(_CacheView(self, "sharded_cache"))
 
     # ------------------------------------------------------------------
 
@@ -217,12 +234,12 @@ class ShardedQueryEngine(AsyncSearchMixin):
         """The backing :class:`ReplicaSet` (``None`` without replicas)."""
         return self._replica_set
 
-    def _on_mutation(self, event: str, user: int, deltas) -> None:
+    def _on_delta(self, delta) -> None:
         self._cache.on_mutation(
-            event,
-            user,
-            touched=_signup_contacts(event, deltas),
-            clusters=_resplit_clusters(self.index, event),
+            delta.event,
+            delta.user,
+            touched=_signup_contacts(delta.event, delta.edges),
+            clusters=_resplit_clusters(delta),
         )
         if self.executor == "process" and not self.replicas:
             self._stale = True  # workers hold a pre-mutation snapshot
@@ -249,18 +266,24 @@ class ShardedQueryEngine(AsyncSearchMixin):
         return self._shard_of(key)
 
     def _run_shard(self, shard: int, items: list, k: int) -> list:
+        t0 = perf_counter()
         searcher = self._searchers[shard]
         out = []
         with self._shard_locks[shard]:
             for key, profile in items:
                 out.append((key, searcher.top_k(profile, k=k)))
+        self._c_shard_misses[shard].inc(len(items))
+        self._h_shard_batch[shard].observe(perf_counter() - t0)
         return out
 
     def _run_replica(self, shard: int, items: list, k: int) -> list:
+        t0 = perf_counter()
         try:
             results = self._replica_set.search(
                 shard, [profile for _, profile in items], k
             )
+            self._c_shard_misses[shard].inc(len(items))
+            self._h_shard_batch[shard].observe(perf_counter() - t0)
             return [(key, result) for (key, _), result in zip(items, results)]
         finally:
             if self.routing == "least_loaded":
@@ -359,13 +382,16 @@ class ShardedQueryEngine(AsyncSearchMixin):
                 # staleness check and the submits.
                 with self._pool_lock:
                     pool = self._ensure_process_pool()
+                    t_sub = perf_counter()
                     futures = [
                         pool.submit(_proc_search, [p for _, p in items], k)
                         for items in shards.values()
                     ]
-                for future, items in zip(futures, shards.values()):
+                for future, (shard, items) in zip(futures, shards.items()):
                     for (key, _), result in zip(items, future.result()):
                         answered[key] = result
+                    self._c_shard_misses[shard].inc(len(items))
+                    self._h_shard_batch[shard].observe(perf_counter() - t_sub)
             for key, result in answered.items():
                 self._cache.put(
                     key, version, result, live_version=lambda: self.index.version
@@ -397,7 +423,7 @@ class ShardedQueryEngine(AsyncSearchMixin):
         As with :meth:`QueryEngine.close`, a closed partial-mode cache
         is cleared — nothing would ever evict mutated answers from it.
         """
-        self.index.unsubscribe(self._on_mutation)
+        self._view.close()
         if self._cache.mode == "partial":
             self._cache.clear()
         if self._replica_set is not None:
@@ -411,11 +437,11 @@ class ShardedQueryEngine(AsyncSearchMixin):
         """Operational counters for dashboards and tests.
 
         Same canonical vocabulary as :meth:`QueryEngine.stats` (see
-        ``docs/observability.md``); legacy keys remain as read aliases
-        for one release.
+        ``docs/observability.md``); the pre-unification spellings were
+        dropped after their one-release grace window.
         """
         with self._stats_lock:
-            canonical = {
+            out = {
                 "component": "sharded_query_engine",
                 "queries_total": self.n_queries,
                 "cache_hits_total": self.cache_hits,
@@ -434,25 +460,11 @@ class ShardedQueryEngine(AsyncSearchMixin):
             }
         if self._replica_set is not None:
             replica = self._replica_set.stats()
-            canonical.update(
+            out.update(
                 replica_mode=replica["mode"],
                 deltas_shipped_total=replica["deltas_shipped_total"],
                 resyncs_total=replica["resyncs_total"],
                 replica_lag=replica["lag"],
                 replica_serving=replica["serving"],
             )
-        aliases = {
-            "n_queries": "queries_total",
-            "cache_hits": "cache_hits_total",
-            "cache_misses": "cache_misses_total",
-            "dedup_hits": "dedup_hits_total",
-            "invalidations": "evictions_total",
-            "cached_entries": "cache_entries",
-            "reforks": "reforks_total",
-            "index_version": "version",
-        }
-        if self._replica_set is not None:
-            aliases.update(
-                deltas_shipped="deltas_shipped_total", resyncs="resyncs_total"
-            )
-        return obs.alias_stats(canonical, aliases)
+        return out

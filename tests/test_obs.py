@@ -22,7 +22,6 @@ from repro.obs import (
     JournalMetrics,
     MetricsRegistry,
     Tracer,
-    alias_stats,
     format_span,
 )
 from repro.online import OnlineIndex
@@ -250,19 +249,6 @@ def test_json_export_matches_snapshot():
 
 
 # ----------------------------------------------------------------------
-# Canonical stats aliases
-# ----------------------------------------------------------------------
-
-
-def test_alias_stats_mirrors_canonical_keys():
-    stats = {"queries_total": 7, "component": "query_engine"}
-    out = alias_stats(stats, {"n_queries": "queries_total"})
-    assert out["n_queries"] == 7 and out["queries_total"] == 7
-    with pytest.raises(KeyError):
-        alias_stats(stats, {"legacy": "missing_canonical"})
-
-
-# ----------------------------------------------------------------------
 # Journal metrics + selective re-split eviction (integration-ish units)
 # ----------------------------------------------------------------------
 
@@ -332,7 +318,7 @@ def test_resplit_evicts_only_split_lineage():
             for profile in pool:
                 engine.search(profile)
             index.add_user(rng.integers(0, index.dataset.n_items, size=14))
-            if index.stats()["n_resplits"] > 0:
+            if index.stats()["resplits_total"] > 0:
                 resplit_stats = engine.stats()
                 break
         assert resplit_stats is not None, "tape never re-split"

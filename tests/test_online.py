@@ -257,9 +257,9 @@ class TestOnlineIndex:
 
     def test_stats_counters(self, online_index):
         stats = online_index.stats()
-        assert stats["n_updates"] == 30
+        assert stats["mutations_total"] == 30
         assert stats["update_comparisons"] > 0
-        assert stats["n_clusters"] > 0
+        assert stats["clusters"] > 0
 
 
 class TestUpdateBudget:
@@ -398,8 +398,8 @@ class TestResplit:
     def test_auto_resplit_holds_the_size_invariant(self, small_dataset):
         index = self._swollen(small_dataset, auto_resplit=True)
         stats = index.stats()
-        assert stats["n_resplits"] > 0
-        assert stats["n_rebuilds"] == 0
+        assert stats["resplits_total"] > 0
+        assert stats["rebuilds_total"] == 0
         for cid, members in enumerate(index._members):
             assert (
                 len(members) <= index.params.split_threshold
@@ -409,7 +409,7 @@ class TestResplit:
     def test_disabled_resplit_lets_clusters_swell(self, small_dataset):
         index = self._swollen(small_dataset, auto_resplit=False)
         stats = index.stats()
-        assert stats["n_resplits"] == 0
+        assert stats["resplits_total"] == 0
         assert stats["max_cluster_size"] > index.params.split_threshold
 
     def test_resplit_costs_zero_comparisons(self, small_dataset):
@@ -424,7 +424,7 @@ class TestResplit:
         for cid in over:
             index._resplit(cid)
         assert index.engine.comparisons == before
-        assert index.stats()["n_resplits"] >= len(over)
+        assert index.stats()["resplits_total"] >= len(over)
 
     def test_resplit_keeps_members_and_assign_consistent(self, small_dataset):
         index = self._swollen(small_dataset, auto_resplit=True)
@@ -446,7 +446,7 @@ class TestResplit:
         index.subscribe(lambda event, user, deltas: events.append((event, user)))
         rng = np.random.default_rng(5)
         donor = index.dataset.profile(0)
-        while index.stats()["n_resplits"] == 0:
+        while index.stats()["resplits_total"] == 0:
             keep = donor[rng.random(donor.size) > 0.4]
             index.add_user(np.union1d(keep, rng.integers(0, 500, size=6)))
         resplits = [e for e in events if e[0] == "resplit"]

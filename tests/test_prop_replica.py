@@ -111,7 +111,7 @@ def test_synchronous_replica_is_identical_at_every_step(seed):
             assert np.array_equal(a.ids, b.ids)
             assert a.scores == pytest.approx(b.scores)
             assert a.evaluations == b.evaluations and a.hops == b.hops
-        assert replicas.stats()["resyncs"] == 0
+        assert replicas.stats()["resyncs_total"] == 0
         assert replicas.converged()
     finally:
         replicas.close()
@@ -193,8 +193,8 @@ def test_process_transport_matches_single_worker_after_churn(seed):
                 assert np.array_equal(got.ids, want.ids)
                 assert got.scores == pytest.approx(want.scores)
         stats = engine.stats()
-        assert stats["resyncs"] == 0
-        assert stats["deltas_shipped"] == primary.version
+        assert stats["resyncs_total"] == 0
+        assert stats["deltas_shipped_total"] == primary.version
         assert engine.replica_set.converged()
     finally:
         engine.close()

@@ -114,7 +114,7 @@ def test_resplit_partitions_match_batch_split_oracle(seed):
     index.subscribe_deltas(oracle)
     _churn(index, seed)
     # The tape must actually have exercised the mechanism.
-    assert checked and index.stats()["n_resplits"] > 0
+    assert checked and index.stats()["resplits_total"] > 0
 
 
 @pytest.mark.parametrize("seed", SEEDS)
@@ -122,7 +122,7 @@ def test_post_tape_size_invariant_and_assignment_bijection(seed):
     """After any tape: sizes bounded and membership tables consistent."""
     index = _index(seed)
     _churn(index, seed)
-    assert index.stats()["n_resplits"] > 0
+    assert index.stats()["resplits_total"] > 0
     for cid, members in enumerate(index._members):
         if len(members) > THRESHOLD:
             # Only frozen residuals may stay oversized.
@@ -158,7 +158,7 @@ def test_lagging_replica_converges_through_resplits(seed):
                 assert replica.apply_delta(delta)
     for delta in queue:
         assert replica.apply_delta(delta)
-    assert primary.stats()["n_resplits"] > 0
+    assert primary.stats()["resplits_total"] > 0
     assert replica.version == primary.version
     assert replica._members == primary._members
     assert replica._assign == primary._assign
@@ -174,7 +174,7 @@ def test_durable_recovery_reproduces_resplit_state(seed, tmp_path):
     index.reverse_index()
     durable = index.attach_persistence(tmp_path, checkpoint_bytes=0)
     _churn(index, seed)
-    assert index.stats()["n_resplits"] > 0
+    assert index.stats()["resplits_total"] > 0
     durable.close()
     recovered = DurableIndex.recover(tmp_path)
     try:

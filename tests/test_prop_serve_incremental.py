@@ -141,8 +141,8 @@ def test_partial_cache_never_holds_mutated_users(seed):
                 for _, result in queries._cache._entries.values():
                     assert user not in result.ids
         stats = queries.stats()
-        assert stats["cache_hits"] > 0  # the cache still earns its keep
-        assert stats["invalidations"] > 0  # and mutations really evict
+        assert stats["cache_hits_total"] > 0  # the cache still earns its keep
+        assert stats["evictions_total"] > 0  # and mutations really evict
     finally:
         queries.close()
 

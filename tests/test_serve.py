@@ -245,7 +245,7 @@ class TestQueryEngine:
             a = queries.search([1, 2, 3])
             b = queries.search([3, 2, 1, 1])  # canonicalised to the same key
             assert b is a
-            assert queries.stats()["cache_hits"] == 1
+            assert queries.stats()["cache_hits_total"] == 1
         finally:
             queries.close()
 
@@ -257,7 +257,7 @@ class TestQueryEngine:
             index.add_items(0, [small_dataset.n_items - 1])
             b = queries.search([1, 2, 3])
             assert b is not a
-            assert queries.stats()["invalidations"] >= 1
+            assert queries.stats()["evictions_total"] >= 1
         finally:
             queries.close()
 
@@ -271,7 +271,7 @@ class TestQueryEngine:
             index.add_items(victim, [small_dataset.n_items - 1])
             b = queries.search([1, 2, 3])
             assert b is not a  # result set contained the mutated user
-            assert queries.stats()["invalidations"] >= 1
+            assert queries.stats()["evictions_total"] >= 1
         finally:
             queries.close()
 
@@ -285,7 +285,7 @@ class TestQueryEngine:
             )
             index.add_items(bystander, [small_dataset.n_items - 1])
             assert queries.search([1, 2, 3]) is a  # survived the write
-            assert queries.stats()["cache_hits"] == 1
+            assert queries.stats()["cache_hits_total"] == 1
         finally:
             queries.close()
 
@@ -319,8 +319,8 @@ class TestQueryEngine:
             assert results[0] is results[2] is results[3]
             assert results[1] is not results[0]
             stats = queries.stats()
-            assert stats["cache_misses"] == 2
-            assert stats["dedup_hits"] == 2
+            assert stats["cache_misses_total"] == 2
+            assert stats["dedup_hits_total"] == 2
         finally:
             queries.close()
 
@@ -330,7 +330,7 @@ class TestQueryEngine:
             a = queries.search([1])
             queries.search([2])
             queries.search([3])  # evicts [1]
-            assert queries.stats()["cached_entries"] == 2
+            assert queries.stats()["cache_entries"] == 2
             assert queries.search([1]) is not a
         finally:
             queries.close()
@@ -352,7 +352,7 @@ class TestQueryEngine:
         queries = QueryEngine(index)
         a = queries.search([4, 5])
         queries.close()
-        assert queries.stats()["cached_entries"] == 0
+        assert queries.stats()["cache_entries"] == 0
         assert queries.search([4, 5]) is not a
 
     def test_async_concurrent_queries_share_one_batch(self, served_index):
@@ -366,8 +366,8 @@ class TestQueryEngine:
             results = asyncio.run(burst())
             assert all(r is results[0] for r in results)
             stats = queries.stats()
-            assert stats["cache_misses"] == 1
-            assert stats["dedup_hits"] == 5
+            assert stats["cache_misses_total"] == 1
+            assert stats["dedup_hits_total"] == 5
         finally:
             queries.close()
 

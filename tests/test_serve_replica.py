@@ -63,8 +63,8 @@ class TestReplicaSet:
             assert replicas.converged()
             assert replicas.lag() == 0
             stats = replicas.stats()
-            assert stats["resyncs"] == 0
-            assert stats["deltas_shipped"] == index.version
+            assert stats["resyncs_total"] == 0
+            assert stats["deltas_shipped_total"] == index.version
             replica = replicas.replica(0)
             # Full serving-state parity, not just edges: routing tables
             # and memberships replayed in lockstep.
@@ -80,7 +80,7 @@ class TestReplicaSet:
         replicas = ReplicaSet(index, 2, mode="thread")
         try:
             index.rebuild()
-            assert replicas.stats()["resyncs"] == 2  # one per replica
+            assert replicas.stats()["resyncs_total"] == 2  # one per replica
             assert replicas.converged()
         finally:
             replicas.close()
@@ -90,7 +90,7 @@ class TestReplicaSet:
         replicas = ReplicaSet(index, 2, mode="thread")
         replicas.close()
         index.add_user([1, 2, 3])
-        assert replicas.stats()["deltas_shipped"] == 0
+        assert replicas.stats()["deltas_shipped_total"] == 0
 
     def test_stale_delta_stream_raises_and_heals(self, small_dataset):
         index = OnlineIndex.build(small_dataset, params=_params())
@@ -168,8 +168,8 @@ class TestReplicaRouting:
             stats = engine.stats()
             assert stats["routing"] == "round_robin"
             assert stats["replica_mode"] == "thread"
-            assert stats["deltas_shipped"] == 1
-            assert stats["resyncs"] == 0
+            assert stats["deltas_shipped_total"] == 1
+            assert stats["resyncs_total"] == 0
             assert stats["replica_lag"] == 0
         finally:
             engine.close()
@@ -188,8 +188,8 @@ class TestShardedSearchAsync:
             results = asyncio.run(burst())
             assert all(r is results[0] for r in results[1:])
             stats = engine.stats()
-            assert stats["cache_misses"] == 1
-            assert stats["dedup_hits"] == 5
+            assert stats["cache_misses_total"] == 1
+            assert stats["dedup_hits_total"] == 5
         finally:
             engine.close()
 
@@ -244,7 +244,7 @@ class TestShardedSearchAsync:
             writer.join(timeout=30)
             engine.close()
         assert not writer.is_alive()
-        assert engine.replica_set.stats()["resyncs"] == 0
+        assert engine.replica_set.stats()["resyncs_total"] == 0
 
 
 class TestSignupInvalidation:

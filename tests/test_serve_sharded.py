@@ -115,9 +115,9 @@ class TestShardedFrontEnd:
             b = engine.search([1, 2])
             assert b is a[0]  # served from the shared cache
             stats = engine.stats()
-            assert stats["cache_hits"] == 1
-            assert stats["dedup_hits"] == 1
-            assert stats["cache_misses"] == 2
+            assert stats["cache_hits_total"] == 1
+            assert stats["dedup_hits_total"] == 1
+            assert stats["cache_misses_total"] == 2
         finally:
             engine.close()
 

@@ -1,0 +1,63 @@
+"""CI lint — internal use of deprecated delta entry points turns red.
+
+``OnlineIndex.subscribe`` / ``subscribe_deltas`` (and their
+``unsubscribe*`` mirrors) survive only as one-release deprecation shims
+around ``index.deltas.register(view)``; no internal code may call them.
+This script scans every ``src/repro`` module for ``.subscribe(`` /
+``.subscribe_deltas(`` / ``.unsubscribe(`` / ``.unsubscribe_deltas(``
+call sites and fails if any appear outside the shim definitions
+themselves (``src/repro/online/index.py``). Tests and examples are
+deliberately out of scope: the shim-coverage tests must keep calling
+the deprecated surface until it is deleted.
+
+Run::
+
+    python tools/check_deprecated.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+# The shims live here; everything else in src/repro must be ported.
+ALLOWED = {ROOT / "src" / "repro" / "online" / "index.py"}
+
+_CALL = re.compile(r"\.(?:un)?subscribe(?:_deltas)?\(")
+
+
+def deprecated_calls() -> list[tuple[Path, int, str]]:
+    """``(file, line number, line)`` for every offending call site."""
+    hits: list[tuple[Path, int, str]] = []
+    for path in sorted((ROOT / "src" / "repro").rglob("*.py")):
+        if path in ALLOWED:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("#", 1)[0]
+            if _CALL.search(code):
+                hits.append((path, lineno, line.strip()))
+    return hits
+
+
+def main() -> int:
+    """Scan and report; non-zero exit on any internal deprecated call."""
+    hits = deprecated_calls()
+    for path, lineno, line in hits:
+        rel = path.relative_to(ROOT)
+        print(
+            f"{rel}:{lineno}: internal use of deprecated subscribe API: "
+            f"{line}\n    port this consumer to a repro.deltas.DerivedView "
+            "registered via index.deltas.register(view)"
+        )
+    if hits:
+        print(f"\n{len(hits)} deprecated call site(s) found")
+        return 1
+    print("no internal use of deprecated subscribe entry points")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
