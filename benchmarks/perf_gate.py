@@ -61,8 +61,16 @@ def is_ceiling(metric: str) -> bool:
 
 
 def is_latency_ceiling(metric: str) -> bool:
-    """Latency metrics: ceilings, but with the throughput tolerance."""
-    return "latency" in metric or metric.endswith("_ms")
+    """Time-denominated metrics: ceilings, with the throughput tolerance.
+
+    Besides ``latency``/``_ms`` names this covers ``_s``/``seconds``
+    duration metrics (``restart_s``, the recovery-time gate) — but a
+    ``_s`` suffix on a *rate* (``ops_s``, per-second throughput) keeps
+    floor semantics.
+    """
+    if "latency" in metric or metric.endswith("_ms") or "seconds" in metric:
+        return True
+    return metric.endswith("_s") and "ops" not in metric and "qps" not in metric
 
 
 def check(runs: dict, floors: dict) -> list[str]:

@@ -34,6 +34,11 @@ class ReverseAdjacency:
 
     def __init__(self, n: int) -> None:
         self._in: list[set[int]] = [set() for _ in range(int(n))]
+        # Per-node sorted holders() arrays, materialised on demand and
+        # dropped when the node's in-edge set changes. The serving walk
+        # asks for the same hot nodes' holders on every query; without
+        # the cache each call pays a set→array convert + sort.
+        self._holders_cache: dict[int, np.ndarray] = {}
 
     @classmethod
     def from_heaps(cls, heaps: NeighborHeaps) -> "ReverseAdjacency":
@@ -63,12 +68,21 @@ class ReverseAdjacency:
             self._in.append(set())
 
     def holders(self, v: int) -> np.ndarray:
-        """Users currently keeping ``v`` as a neighbour (sorted)."""
+        """Users currently keeping ``v`` as a neighbour (sorted).
+
+        Cached per node until the next patch touching ``v``; treat the
+        returned array as read-only.
+        """
+        cached = self._holders_cache.get(v)
+        if cached is not None:
+            return cached
         s = self._in[v]
         if not s:
-            return np.empty(0, dtype=np.int64)
-        out = np.fromiter(s, dtype=np.int64, count=len(s))
-        out.sort()
+            out = np.empty(0, dtype=np.int64)
+        else:
+            out = np.fromiter(s, dtype=np.int64, count=len(s))
+            out.sort()
+        self._holders_cache[v] = out
         return out
 
     def degree(self, v: int) -> int:
@@ -83,11 +97,37 @@ class ReverseAdjacency:
         drop and re-add the same edge.
         """
         rows = self._in
+        cache = self._holders_cache
         for u, v, added in deltas:
             if added:
                 rows[v].add(u)
             else:
                 rows[v].discard(u)
+            cache.pop(v, None)
+
+    def apply_batch(self, deltas) -> None:
+        """Batched :meth:`apply` — one set edit per distinct edge.
+
+        Set membership makes the per-``(u, v)`` history collapsible:
+        only the *last* recorded flag decides whether ``u`` ends up in
+        ``holders(v)`` (add/discard are idempotent), so a drop-and-
+        re-add tape touches each set once instead of twice. Used by
+        the journal-fed delta pipeline (every mutation, replica replay
+        and WAL recovery flow through it); :meth:`apply` is retained
+        as the order-faithful per-edge oracle the property tests
+        compare against.
+        """
+        last: dict[tuple[int, int], bool] = {}
+        for u, v, added in deltas:
+            last[(int(u), int(v))] = added
+        rows = self._in
+        cache = self._holders_cache
+        for (u, v), added in last.items():
+            if added:
+                rows[v].add(u)
+            else:
+                rows[v].discard(u)
+            cache.pop(v, None)
 
     def apply_scored(self, edges) -> None:
         """Patch in replica-shipped ``(u, v, added, score)`` deltas.
@@ -97,11 +137,22 @@ class ReverseAdjacency:
         here — the in-edge sets only care about structure.
         """
         rows = self._in
+        cache = self._holders_cache
         for u, v, added, _score in edges:
             if added:
                 rows[v].add(u)
             else:
                 rows[v].discard(u)
+            cache.pop(v, None)
+
+    def apply_scored_batch(self, edges) -> None:
+        """Batched :meth:`apply_scored` for replica/WAL replay streams.
+
+        Strips the scores and collapses the per-edge history exactly
+        like :meth:`apply_batch` — one set edit per distinct ``(u, v)``
+        no matter how often the shipped tape flips it.
+        """
+        self.apply_batch((u, v, added) for u, v, added, _score in edges)
 
     def to_sets(self) -> list[set[int]]:
         """Copy of the in-edge sets (oracle comparisons in tests)."""

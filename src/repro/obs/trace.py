@@ -43,24 +43,41 @@ class Span:
         duration: seconds, set when the span closes (None while open).
     """
 
-    __slots__ = ("name", "tags", "children", "start", "duration", "_tracer")
+    __slots__ = ("name", "_tags", "_children", "start", "duration", "_tracer")
 
     def __init__(
         self, name: str, tags: dict | None = None, _tracer: "Tracer | None" = None
     ) -> None:
         """Open a span now (use :meth:`Tracer.span`, not this)."""
         self.name = name
-        self.tags = tags or {}
-        self.children: list[Span] = []
-        self.start = perf_counter()
+        # Tag/children dicts are allocated lazily: most spans on the
+        # serving hot path carry neither, and the two allocations were
+        # a measurable slice of the per-span cost.
+        self._tags = tags
+        self._children: list[Span] | None = None
+        self.start = 0.0  # armed by __enter__
         self.duration: float | None = None
         self._tracer = _tracer
+
+    @property
+    def tags(self) -> dict:
+        """Free-form annotations (open-time kwargs + :meth:`note`)."""
+        if self._tags is None:
+            self._tags = {}
+        return self._tags
+
+    @property
+    def children(self) -> "list[Span]":
+        """Spans opened (and closed) while this one was active."""
+        if self._children is None:
+            self._children = []
+        return self._children
 
     def __enter__(self) -> "Span":
         """Spans are their own context managers (no generator overhead)."""
         if self._tracer is not None:
             self._tracer._stack().append(self)
-            self.start = perf_counter()  # re-arm: exclude setup cost
+        self.start = perf_counter()  # armed last: exclude setup cost
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -72,15 +89,18 @@ class Span:
 
     def note(self, **tags) -> None:
         """Attach tags discovered mid-span (hop counts, sizes, …)."""
-        self.tags.update(tags)
+        if self._tags is None:
+            self._tags = tags
+        else:
+            self._tags.update(tags)
 
     def to_dict(self) -> dict:
         """The span tree as plain data (JSON-friendly)."""
         return {
             "name": self.name,
             "duration_ms": None if self.duration is None else self.duration * 1e3,
-            "tags": dict(self.tags),
-            "children": [child.to_dict() for child in self.children],
+            "tags": dict(self._tags or {}),
+            "children": [child.to_dict() for child in self._children or []],
         }
 
 
@@ -149,10 +169,11 @@ class Tracer:
         self._local = threading.local()
 
     def _stack(self) -> list:
-        stack = getattr(self._local, "stack", None)
-        if stack is None:
+        try:
+            return self._local.stack
+        except AttributeError:
             stack = self._local.stack = []
-        return stack
+            return stack
 
     def span(self, name: str, **tags):
         """Open a span; nests under the thread's current span, if any.

@@ -149,12 +149,17 @@ class _ReverseView(DerivedView):
         self._index = index
 
     def apply(self, delta: Delta) -> None:
-        """Patch the in-edge sets from the journal (no-op while unbuilt)."""
+        """Patch the in-edge sets from the journal (no-op while unbuilt).
+
+        Batched: the journal's per-``(u, v)`` history collapses to its
+        final flag, so replica replay and WAL recovery pay one set
+        edit per distinct edge (``ReverseAdjacency.apply_batch``).
+        """
         rev = self._index._reverse
         if rev is None:
             return
         rev.grow(delta.n_users)
-        rev.apply(delta.edges)
+        rev.apply_batch(delta.edges)
 
     def resync(self) -> None:
         """Rebuild the in-edge sets from the live heap table."""
@@ -751,8 +756,9 @@ class OnlineIndex:
         self._router.ensure_items(self._data.n_items)
         pools: list[np.ndarray] = []
         routed: list[int] = []
+        paths = self._router.hash_paths(profile)
         for config in range(self.n_configs):
-            _, cid = self._router.route(config, profile)
+            _, cid = self._router.route(config, profile, path=paths[config])
             if cid < 0:
                 continue
             routed.append(int(cid))
@@ -1050,8 +1056,9 @@ class OnlineIndex:
         self._router.ensure_items(self._data.n_items)
 
         candidate_pools: list[np.ndarray] = []
+        paths = self._router.hash_paths(profile)
         for config in range(self.n_configs):
-            lineage, cid = self._router.route(config, profile)
+            lineage, cid = self._router.route(config, profile, path=paths[config])
             if cid < 0:
                 cid = len(self._members)
                 self._members.append([])

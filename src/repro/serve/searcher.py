@@ -43,6 +43,24 @@ returned ``k`` — with exact similarities over the raw profiles before
 truncation, recovering the ~5 recall points fingerprint noise costs at
 equal walk budget for ``ef`` extra (counted) exact evaluations.
 
+The walk ships two interchangeable implementations selected by
+``walk_impl``:
+
+* ``"numpy"`` (default) — array-at-a-time kernels: a reusable
+  visited/excluded bitmap cleared via touched-index lists, one fancy-
+  indexing mask pass per hop over the batched candidate fan-out, a
+  lexsort top-``ef`` seed initialisation, and a vectorised admission
+  prefilter in front of an exact scalar tail that preserves the heap's
+  tie semantics bit-for-bit.
+* ``"python"`` — the original per-node loop, kept as the **scalar
+  oracle**: ``tests/test_prop_search_vec.py`` pins the two
+  implementations to identical ids, scores, ``evaluations``, ``hops``
+  and ``routed`` on randomized indexes and parameter combinations.
+
+Both expand candidates in sorted-id order (``_adjacent``), so budget
+truncation — which keeps a prefix of the per-hop candidate list — is
+deterministic regardless of heap slot layout or set iteration order.
+
 Because C² graphs are cluster-local by construction, a handful of hops
 reaches the true neighbourhood: recall@10 ≥ 0.9 of a brute-force scan
 at a few percent of its evaluations (``benchmarks/bench_serving.py``).
@@ -51,6 +69,8 @@ at a few percent of its evaluations (``benchmarks/bench_serving.py``).
 from __future__ import annotations
 
 import heapq
+import os
+import threading
 import zlib
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -117,6 +137,12 @@ class GraphSearcher:
             similarities over raw profiles before truncating to ``k``
             (counted; recovers estimate-backend recall). ``None``
             returns engine scores untouched.
+        walk_impl: ``"numpy"`` (default) walks with the vectorised
+            kernels; ``"python"`` forces the scalar per-node loop —
+            the oracle the differential suite compares against, and a
+            debugging fallback. ``None`` reads ``REPRO_WALK_IMPL``
+            from the environment (defaulting to ``"numpy"``), which is
+            how the CI matrix runs every serve suite under both.
         registry: :class:`~repro.obs.MetricsRegistry` for the stage
             timing/hop/evaluation metrics (default: the process-wide
             registry, see ``docs/observability.md`` for the catalog).
@@ -134,6 +160,7 @@ class GraphSearcher:
         use_reverse_edges: bool = True,
         reverse: str = "incremental",
         rerank: str | None = None,
+        walk_impl: str | None = None,
         registry=None,
         tracer=None,
     ) -> None:
@@ -143,7 +170,16 @@ class GraphSearcher:
             raise ValueError("reverse must be 'incremental' or 'rebuild'")
         if rerank not in (None, "exact"):
             raise ValueError("rerank must be None or 'exact'")
+        if walk_impl is None:
+            walk_impl = os.environ.get("REPRO_WALK_IMPL", "numpy")
+        if walk_impl not in ("numpy", "python"):
+            raise ValueError("walk_impl must be 'numpy' or 'python'")
         self.index = index
+        self.walk_impl = walk_impl
+        # Scratch buffers for the numpy kernels are thread-local: a
+        # QueryEngine shares one searcher across worker threads, and a
+        # bitmap mid-clear in one walk must not leak into another.
+        self._scratch = threading.local()
         self.ef = int(ef)
         self.per_config = int(per_config)
         self.budget = budget
@@ -243,52 +279,19 @@ class GraphSearcher:
             sims = engine.query_many(query, seeds)
         self._h_seed.observe(perf_counter() - t_seed)
 
-        # Bounded best-seen set (min-heap, ties evict the larger id so
-        # results are deterministic) and expansion frontier (max-heap).
-        result: list[tuple[float, int]] = []
-        frontier: list[tuple[float, int]] = []
-        visited = {int(v) for v in seeds}
-        for v, s in zip(seeds, sims):
-            heapq.heappush(frontier, (-float(s), int(v)))
-            heapq.heappush(result, (float(s), -int(v)))
-            if len(result) > ef:
-                heapq.heappop(result)
-
         rev = self._reverse_source()
-        hops = 0
-        evals = int(seeds.size)
+        core = (
+            self._walk_core_numpy
+            if self.walk_impl == "numpy"
+            else self._walk_core_python
+        )
         t_walk = perf_counter()
         with self.tracer.span("walk") as walk_span:
-            while frontier:
-                neg_score, node = heapq.heappop(frontier)
-                if len(result) >= ef and -neg_score < result[0][0]:
-                    break  # the best remaining candidate cannot improve the set
-                fresh = [
-                    int(v)
-                    for v in self._adjacent(graph, node, rev)
-                    if int(v) not in visited and active[v] and int(v) not in excluded
-                ]
-                if not fresh:
-                    continue
-                if budget is not None and evals + len(fresh) > budget:
-                    fresh = fresh[: budget - evals]
-                    if not fresh:
-                        break
-                hops += 1
-                cands = np.asarray(fresh, dtype=np.int64)
-                sims = engine.query_many(query, cands)
-                evals += cands.size
-                visited.update(fresh)
-                for v, s in zip(fresh, sims):
-                    if len(result) < ef or s > result[0][0]:
-                        heapq.heappush(frontier, (-float(s), int(v)))
-                        heapq.heappush(result, (float(s), -int(v)))
-                        if len(result) > ef:
-                            heapq.heappop(result)
+            pool, hops, evals = core(
+                engine, graph, query, active, excluded, seeds, sims, ef, budget, rev
+            )
             walk_span.note(hops=hops, evaluations=evals)
         self._h_walk.observe(perf_counter() - t_walk)
-
-        pool = sorted(((s, -neg_id) for s, neg_id in result), key=lambda t: (-t[0], t[1]))
         if self.rerank == "exact" and pool:
             # Re-score the whole final frontier (ef candidates), not
             # just the top k of the estimates — the candidates exact
@@ -315,6 +318,173 @@ class GraphSearcher:
         )
 
     # ------------------------------------------------------------------
+    # Walk cores — one beam search, two implementations. Both return
+    # ``(pool, hops, evals)`` where ``pool`` is the final best-seen set
+    # sorted by (score desc, id asc). The python core is the scalar
+    # oracle; the numpy core must match it bit-for-bit (see
+    # tests/test_prop_search_vec.py).
+    # ------------------------------------------------------------------
+
+    def _walk_core_python(
+        self, engine, graph, query, active, excluded, seeds, sims, ef, budget, rev
+    ):
+        """The original per-node loop — kept as the differential oracle.
+
+        Bounded best-seen set (min-heap on ``(score, -id)``: ties evict
+        the larger id so results are deterministic) and expansion
+        frontier (max-heap on ``(-score, id)``).
+        """
+        result: list[tuple[float, int]] = []
+        frontier: list[tuple[float, int]] = []
+        visited = {int(v) for v in seeds}
+        for v, s in zip(seeds, sims):
+            heapq.heappush(frontier, (-float(s), int(v)))
+            heapq.heappush(result, (float(s), -int(v)))
+            if len(result) > ef:
+                heapq.heappop(result)
+
+        hops = 0
+        evals = int(seeds.size)
+        while frontier:
+            neg_score, node = heapq.heappop(frontier)
+            if len(result) >= ef and -neg_score < result[0][0]:
+                break  # the best remaining candidate cannot improve the set
+            fresh = [
+                int(v)
+                for v in self._adjacent(graph, node, rev)
+                if int(v) not in visited and active[v] and int(v) not in excluded
+            ]
+            if not fresh:
+                continue
+            if budget is not None and evals + len(fresh) > budget:
+                fresh = fresh[: budget - evals]
+                if not fresh:
+                    break
+            hops += 1
+            cands = np.asarray(fresh, dtype=np.int64)
+            batch = engine.query_many(query, cands)
+            evals += cands.size
+            visited.update(fresh)
+            for v, s in zip(fresh, batch):
+                if len(result) < ef or s > result[0][0]:
+                    heapq.heappush(frontier, (-float(s), int(v)))
+                    heapq.heappush(result, (float(s), -int(v)))
+                    if len(result) > ef:
+                        heapq.heappop(result)
+        pool = sorted(((s, -neg_id) for s, neg_id in result), key=lambda t: (-t[0], t[1]))
+        return pool, hops, evals
+
+    def _walk_core_numpy(
+        self, engine, graph, query, active, excluded, seeds, sims, ef, budget, rev
+    ):
+        """Array-at-a-time walk, bit-equivalent to the python oracle.
+
+        Per hop: one fancy-indexing mask pass filters the batched
+        candidate fan-out against a reusable visited/excluded bitmap
+        (cleared via touched-index lists, never reallocated), one
+        ``query_many`` scores the survivors, and a vectorised
+        ``> current-min`` prefilter shrinks the exact scalar admission
+        tail to the candidates that can actually enter the best-seen
+        set. Candidates stay in sorted-id order throughout, so budget
+        prefix truncation matches the oracle exactly. The best-seen
+        set itself stays a heap: a batched top-ef rebuild would break
+        tie semantics (an incumbent at the current min score must not
+        be evicted by a tying candidate the heap would reject).
+        """
+        n = active.size
+        blocked = self._blocked_bitmap(n)
+        touched: list[np.ndarray] = []
+        try:
+            if excluded:
+                excl = np.fromiter(excluded, dtype=np.int64, count=len(excluded))
+                excl = excl[(excl >= 0) & (excl < n)]
+                if excl.size:
+                    blocked[excl] = True
+                    touched.append(excl)
+            blocked[seeds] = True
+            touched.append(seeds)
+
+            # Seed phase: pushing every seed and popping the minimum
+            # down to ef is exactly "top-ef by (score desc, id asc)" —
+            # one lexsort replaces the per-seed heap churn. The
+            # frontier takes every seed regardless.
+            order = np.lexsort((seeds, -sims))[:ef]
+            result = [(float(sims[i]), -int(seeds[i])) for i in order]
+            heapq.heapify(result)
+            frontier = list(zip((-sims).tolist(), seeds.tolist()))
+            heapq.heapify(frontier)
+
+            hops = 0
+            evals = int(seeds.size)
+            while frontier:
+                neg_score, node = heapq.heappop(frontier)
+                if len(result) >= ef and -neg_score < result[0][0]:
+                    break
+                out, incoming = self._adjacent_parts(graph, node, rev)
+                if incoming is not None and incoming.size:
+                    cands = np.concatenate([out, incoming])  # promotes to int64
+                else:
+                    cands = out
+                fresh = cands[active[cands] & ~blocked[cands]]
+                if fresh.size == 0:
+                    continue
+                # Sorted-unique by hand: same result as np.unique on
+                # these small per-hop arrays at a fraction of the
+                # per-call overhead.
+                fresh.sort()
+                if fresh.size > 1:
+                    keep = np.empty(fresh.size, dtype=bool)
+                    keep[0] = True
+                    np.not_equal(fresh[1:], fresh[:-1], out=keep[1:])
+                    fresh = fresh[keep]
+                if budget is not None and evals + fresh.size > budget:
+                    fresh = fresh[: budget - evals]
+                    if fresh.size == 0:
+                        break
+                hops += 1
+                batch = engine.query_many(query, fresh)
+                evals += fresh.size
+                blocked[fresh] = True
+                touched.append(fresh)
+                if len(result) >= ef:
+                    # Admission needs s > current min, and the min only
+                    # rises — s > min-before-batch is a sound prefilter.
+                    live = np.flatnonzero(batch > result[0][0])
+                    if live.size == 0:
+                        continue
+                    fvals = fresh[live].tolist()
+                    svals = batch[live].tolist()
+                else:
+                    fvals = fresh.tolist()
+                    svals = batch.tolist()
+                for v, s in zip(fvals, svals):
+                    if len(result) < ef or s > result[0][0]:
+                        heapq.heappush(frontier, (-s, v))
+                        heapq.heappush(result, (s, -v))
+                        if len(result) > ef:
+                            heapq.heappop(result)
+            pool = sorted(
+                ((s, -neg_id) for s, neg_id in result), key=lambda t: (-t[0], t[1])
+            )
+            return pool, hops, evals
+        finally:
+            for arr in touched:
+                blocked[arr] = False
+
+    def _blocked_bitmap(self, n: int) -> np.ndarray:
+        """This thread's reusable visited/excluded bitmap, ≥ ``n`` wide.
+
+        Allocated once per (searcher, thread) and grown geometrically;
+        the walk core clears exactly the entries it set (touched-index
+        lists), so consecutive queries see all-False without an O(n)
+        wipe per query.
+        """
+        buf = getattr(self._scratch, "blocked", None)
+        if buf is None or buf.size < n:
+            grow = 0 if buf is None else 2 * buf.size
+            buf = np.zeros(max(n, grow), dtype=bool)
+            self._scratch.blocked = buf
+        return buf
 
     def _reverse_source(self):
         """Where this walk reads in-edges from (None = out-edges only).
@@ -352,19 +522,35 @@ class GraphSearcher:
         )
         self._rev_version = self.index.version
 
-    def _adjacent(self, graph, node: int, rev) -> np.ndarray:
-        """Neighbours of ``node`` in either edge direction."""
+    def _adjacent_parts(self, graph, node: int, rev):
+        """``(out, incoming)`` neighbour arrays of ``node``.
+
+        ``incoming`` is ``None`` when in-edges are disabled; both
+        reverse sources return it sorted by id. ``out`` is in heap slot
+        order (arbitrary).
+        """
         out = graph.neighbors(node)
         if rev is None:
-            return out
+            return out, None
         if rev is self:  # rebuild-mode CSR copy
             incoming = self._rev_sources[
                 self._rev_indptr[node] : self._rev_indptr[node + 1]
             ]
         else:  # the index's maintained ReverseAdjacency
             incoming = rev.holders(node)
-        if incoming.size == 0:
-            return out
+        return out, incoming
+
+    def _adjacent(self, graph, node: int, rev) -> np.ndarray:
+        """Neighbours of ``node`` in either edge direction, sorted by id.
+
+        Sorted unconditionally: budget truncation keeps a *prefix* of
+        the per-hop candidate list, so candidate order must not depend
+        on heap slot layout (which varies with mutation history even
+        between graphs holding identical edge sets).
+        """
+        out, incoming = self._adjacent_parts(graph, node, rev)
+        if incoming is None or incoming.size == 0:
+            return np.sort(out)
         return np.unique(np.concatenate([out.astype(np.int64), incoming]))
 
     def _exact_scores(self, profile: np.ndarray, users: np.ndarray) -> np.ndarray:

@@ -25,7 +25,12 @@ from ..data.dataset import Dataset
 from .bloom import BloomFilterTable
 from .cosine import cosine_matrix, cosine_one_to_many, cosine_pair
 from .goldfinger import GoldFinger
-from .jaccard import jaccard_one_to_many, jaccard_pair, profile_intersections
+from .jaccard import (
+    jaccard_one_to_many,
+    jaccard_pair,
+    profile_intersections,
+    profile_mask,
+)
 
 __all__ = [
     "SimilarityEngine",
@@ -196,6 +201,28 @@ class SimilarityEngine(ABC):
     def _matrix(self, users: np.ndarray) -> np.ndarray: ...
 
 
+class _ExactQuery:
+    """A prepared out-of-index profile with a cached membership mask.
+
+    The serving walk scores one small candidate batch per hop against
+    the same query; caching the item mask turns the per-batch cost into
+    one fancy-indexing gather. The mask is rebuilt if the item universe
+    grew since preparation (an online mutation between two scoring
+    calls against the same handle).
+    """
+
+    __slots__ = ("profile", "_mask")
+
+    def __init__(self, profile: np.ndarray) -> None:
+        self.profile = profile
+        self._mask: np.ndarray | None = None
+
+    def mask(self, dataset: Dataset) -> np.ndarray:
+        if self._mask is None or self._mask.size != dataset.n_items:
+            self._mask = profile_mask(dataset, self.profile)
+        return self._mask
+
+
 class ExactEngine(SimilarityEngine):
     """Exact set similarity on raw profiles (``metric``: jaccard|cosine)."""
 
@@ -214,9 +241,15 @@ class ExactEngine(SimilarityEngine):
     def _update_profile(self, user: int, added_items: np.ndarray | None) -> None:
         self._csr = None  # raw profiles are read live; only the cache is stale
 
+    def _prepare_query(self, profile: np.ndarray) -> object:
+        return _ExactQuery(profile)
+
     def _query_many(self, query: object, users: np.ndarray) -> np.ndarray:
-        profile: np.ndarray = query
-        inter, sizes = profile_intersections(self.dataset, profile, users)
+        if isinstance(query, _ExactQuery):
+            profile, mask = query.profile, query.mask(self.dataset)
+        else:  # raw profile array (legacy callers / tests)
+            profile, mask = query, None
+        inter, sizes = profile_intersections(self.dataset, profile, users, mask=mask)
         if self.metric == "jaccard":
             denom = profile.size + sizes - inter
         else:

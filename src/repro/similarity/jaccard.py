@@ -18,6 +18,7 @@ __all__ = [
     "jaccard_one_to_many",
     "jaccard_profile_one_to_many",
     "profile_intersections",
+    "profile_mask",
     "jaccard_block",
     "jaccard_matrix",
 ]
@@ -35,34 +36,57 @@ def jaccard_pair(a: np.ndarray, b: np.ndarray) -> float:
     return inter / union if union else 0.0
 
 
+def profile_mask(dataset: Dataset, profile: np.ndarray) -> np.ndarray:
+    """Boolean membership mask of ``profile`` over the item universe.
+
+    The reusable half of :func:`profile_intersections`: a prepared
+    query scores many candidate batches against the same profile (one
+    per search hop), and rebuilding the mask per batch was measurable
+    on the serving hot path. Items beyond the universe are dropped —
+    they cannot intersect anything.
+    """
+    mask = np.zeros(dataset.n_items, dtype=bool)
+    mask[profile[profile < dataset.n_items]] = True
+    return mask
+
+
 def profile_intersections(
-    dataset: Dataset, profile: np.ndarray, others: np.ndarray
+    dataset: Dataset,
+    profile: np.ndarray,
+    others: np.ndarray,
+    mask: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """``(|profile ∩ P_v|, |P_v|)`` for each user ``v`` in ``others``.
 
     Vectorised via a membership mask over the item universe: one pass
-    builds a boolean mask of the profile, then intersection sizes for
-    all ``others`` are gathered in a single fancy-indexing sweep over
-    their concatenated profiles. The profile need not belong to any
-    user in the dataset (the query-serving path scores out-of-index
-    profiles); items beyond the dataset's universe cannot intersect
-    anything and only count toward the union.
+    builds a boolean mask of the profile (callers scoring many batches
+    pass a precomputed :func:`profile_mask`), then intersection sizes
+    for all ``others`` are gathered in a single fancy-indexing sweep
+    over their concatenated profiles — the concatenation itself is a
+    vectorised CSR gather (`indptr`/`indices`), not a per-candidate
+    python loop. The profile need not belong to any user in the
+    dataset (the query-serving path scores out-of-index profiles);
+    items beyond the dataset's universe cannot intersect anything and
+    only count toward the union.
     """
     others = np.asarray(others, dtype=np.int64)
     sizes = dataset.profile_sizes[others]
     if others.size == 0:
         return np.zeros(0, dtype=np.int64), sizes
-    mask = np.zeros(dataset.n_items, dtype=bool)
-    mask[profile[profile < dataset.n_items]] = True
+    if mask is None:
+        mask = profile_mask(dataset, profile)
 
-    # Concatenate the others' profiles and count mask hits per segment.
+    # Gather the others' concatenated profiles from the CSR view and
+    # count mask hits per segment.
     indptr = np.zeros(others.size + 1, dtype=np.int64)
     np.cumsum(sizes, out=indptr[1:])
-    flat = np.empty(int(indptr[-1]), dtype=np.int32)
-    for pos, v in enumerate(others):
-        flat[indptr[pos] : indptr[pos + 1]] = dataset.profile(int(v))
-    hits = mask[flat].astype(np.int64)
-    inter = np.add.reduceat(hits, indptr[:-1]) if flat.size else np.zeros(others.size, dtype=np.int64)
+    total = int(indptr[-1])
+    if total == 0:
+        return np.zeros(others.size, dtype=np.int64), sizes
+    starts = dataset.indptr[others]
+    gather = np.repeat(starts - indptr[:-1], sizes) + np.arange(total, dtype=np.int64)
+    hits = mask[dataset.indices[gather]]
+    inter = np.add.reduceat(hits, indptr[:-1], dtype=np.int64)
     inter[sizes == 0] = 0
     return inter, sizes
 
